@@ -1,0 +1,84 @@
+// Ablation: placement strategy and the Eq. 4 weighting factors.
+//
+// Part 1 compares three placement engines under the otherwise-identical
+// proposed flow: SA with Eq. 3/4 priorities (ours), SA with all net
+// priorities equal (beta = gamma = 0 makes Eq. 4 degenerate, leaving only
+// the compaction term), and BA's construction-by-correction.
+//
+// Part 2 sweeps the beta/gamma split on CPA: the paper fixes beta = 0.6 /
+// gamma = 0.4 (concurrency slightly above wash time); the sweep shows the
+// flow's sensitivity to that choice.
+//
+//   build/bench/ablation_placement
+
+#include <iostream>
+
+#include "bench_suite/benchmarks.hpp"
+#include "core/synthesis.hpp"
+#include "report/table.hpp"
+#include "util/strings.hpp"
+
+int main() {
+  using namespace fbmb;
+
+  std::cout << "ABLATION (1/2): placement engine under the proposed flow\n\n";
+  TextTable engines({"Benchmark", "Len eq4 (mm)", "Len flat (mm)",
+                     "Len constr (mm)", "Exec eq4", "Exec flat",
+                     "Exec constr"},
+                    {Align::kLeft, Align::kRight, Align::kRight,
+                     Align::kRight, Align::kRight, Align::kRight,
+                     Align::kRight});
+  for (const auto& bench : paper_benchmarks()) {
+    const Allocation alloc(bench.allocation);
+
+    SynthesisOptions eq4;  // proposed defaults
+    eq4.scheduler.policy = BindingPolicy::kDcsa;
+    eq4.scheduler.refine_storage = true;
+    eq4.router.wash_aware_weights = true;
+    eq4.router.conflict_aware = true;
+
+    SynthesisOptions flat = eq4;
+    flat.placer.beta = 0.0;
+    flat.placer.gamma = 0.0;
+
+    SynthesisOptions constructive = eq4;
+    constructive.placement = PlacementStrategy::kConstructive;
+
+    const auto a = synthesize_custom(bench.graph, alloc, bench.wash, eq4);
+    const auto b = synthesize_custom(bench.graph, alloc, bench.wash, flat);
+    const auto c =
+        synthesize_custom(bench.graph, alloc, bench.wash, constructive);
+
+    engines.add_row({bench.name, format_double(a.channel_length_mm, 0),
+                     format_double(b.channel_length_mm, 0),
+                     format_double(c.channel_length_mm, 0),
+                     format_double(a.completion_time, 1),
+                     format_double(b.completion_time, 1),
+                     format_double(c.completion_time, 1)});
+  }
+  std::cout << engines << '\n';
+
+  std::cout << "ABLATION (2/2): Eq. 4 beta/gamma sweep on CPA "
+               "(paper: beta=0.6, gamma=0.4)\n\n";
+  TextTable sweep({"beta", "gamma", "Exec (s)", "Len (mm)", "Wash (s)"},
+                  {Align::kRight, Align::kRight, Align::kRight, Align::kRight,
+                   Align::kRight});
+  const auto cpa = make_cpa();
+  const Allocation cpa_alloc(cpa.allocation);
+  for (double beta : {0.0, 0.2, 0.4, 0.6, 0.8, 1.0}) {
+    SynthesisOptions opts;
+    opts.scheduler.policy = BindingPolicy::kDcsa;
+    opts.scheduler.refine_storage = true;
+    opts.router.wash_aware_weights = true;
+    opts.router.conflict_aware = true;
+    opts.placer.beta = beta;
+    opts.placer.gamma = 1.0 - beta;
+    const auto r = synthesize_custom(cpa.graph, cpa_alloc, cpa.wash, opts);
+    sweep.add_row({format_double(beta, 1), format_double(1.0 - beta, 1),
+                   format_double(r.completion_time, 1),
+                   format_double(r.channel_length_mm, 0),
+                   format_double(r.channel_wash_time, 1)});
+  }
+  std::cout << sweep << "\nCSV:\n" << sweep.to_csv();
+  return 0;
+}

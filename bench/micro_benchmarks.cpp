@@ -1,0 +1,173 @@
+// Microbenchmarks (google-benchmark): throughput of each synthesis stage
+// as the assay scales, plus the hot inner data structures.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_suite/benchmarks.hpp"
+#include "bench_suite/synthetic.hpp"
+#include "core/synthesis.hpp"
+#include "graph/graph_algorithms.hpp"
+#include "place/sa_placer.hpp"
+#include "route/router.hpp"
+#include "schedule/list_scheduler.hpp"
+#include "util/interval_set.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace fbmb;
+
+SyntheticSpec spec_for(int operations) {
+  SyntheticSpec spec;
+  spec.operations = operations;
+  spec.seed = 42;
+  spec.allocation = {5, 3, 2, 2};
+  return spec;
+}
+
+void BM_LongestPathToSink(benchmark::State& state) {
+  const auto graph =
+      generate_synthetic_graph(spec_for(static_cast<int>(state.range(0))));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(longest_path_to_sink(graph, 2.0));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_LongestPathToSink)->Range(16, 256)->Complexity();
+
+void BM_ScheduleBioassay(benchmark::State& state) {
+  const auto spec = spec_for(static_cast<int>(state.range(0)));
+  const auto graph = generate_synthetic_graph(spec);
+  const Allocation alloc(spec.allocation);
+  const WashModel wash;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(schedule_bioassay(graph, alloc, wash));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ScheduleBioassay)->Range(16, 256)->Complexity();
+
+void BM_ScheduleBaseline(benchmark::State& state) {
+  const auto spec = spec_for(static_cast<int>(state.range(0)));
+  const auto graph = generate_synthetic_graph(spec);
+  const Allocation alloc(spec.allocation);
+  const WashModel wash;
+  SchedulerOptions opts;
+  opts.policy = BindingPolicy::kBaseline;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(schedule_bioassay(graph, alloc, wash, opts));
+  }
+}
+BENCHMARK(BM_ScheduleBaseline)->Range(16, 256);
+
+void BM_SaPlacement(benchmark::State& state) {
+  const auto spec = spec_for(static_cast<int>(state.range(0)));
+  const auto graph = generate_synthetic_graph(spec);
+  const Allocation alloc(spec.allocation);
+  const WashModel wash;
+  const auto schedule = schedule_bioassay(graph, alloc, wash);
+  const ChipSpec chip = derive_grid(ChipSpec{}, allocation_area(alloc, 1));
+  PlacerOptions opts;
+  opts.restarts = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        place_components(alloc, schedule, wash, chip, opts));
+  }
+}
+BENCHMARK(BM_SaPlacement)->Arg(32)->Arg(64);
+
+void BM_RouteTransports(benchmark::State& state) {
+  const auto spec = spec_for(static_cast<int>(state.range(0)));
+  const auto graph = generate_synthetic_graph(spec);
+  const Allocation alloc(spec.allocation);
+  const WashModel wash;
+  const auto schedule = schedule_bioassay(graph, alloc, wash);
+  const ChipSpec chip = derive_grid(ChipSpec{}, allocation_area(alloc, 1));
+  PlacerOptions popts;
+  popts.restarts = 1;
+  const auto placement =
+      place_components(alloc, schedule, wash, chip, popts);
+  for (auto _ : state) {
+    RoutingGrid grid(chip, alloc, placement);
+    benchmark::DoNotOptimize(route_transports(grid, schedule, wash));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(schedule.transports.size()));
+}
+BENCHMARK(BM_RouteTransports)->Range(16, 128);
+
+void BM_FullDcsaFlow(benchmark::State& state) {
+  const auto spec = spec_for(static_cast<int>(state.range(0)));
+  const auto graph = generate_synthetic_graph(spec);
+  const Allocation alloc(spec.allocation);
+  const WashModel wash;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(synthesize_dcsa(graph, alloc, wash));
+  }
+}
+BENCHMARK(BM_FullDcsaFlow)->Arg(32)->Arg(64);
+
+void BM_FullBaselineFlow(benchmark::State& state) {
+  const auto spec = spec_for(static_cast<int>(state.range(0)));
+  const auto graph = generate_synthetic_graph(spec);
+  const Allocation alloc(spec.allocation);
+  const WashModel wash;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(synthesize_baseline(graph, alloc, wash));
+  }
+}
+BENCHMARK(BM_FullBaselineFlow)->Arg(32)->Arg(64);
+
+void BM_IntervalSetInsert(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    Rng rng(7);
+    IntervalSet set;
+    state.ResumeTiming();
+    for (int i = 0; i < n; ++i) {
+      const double start = rng.uniform(0.0, 1000.0);
+      set.insert_disjoint({start, start + 0.5});
+    }
+    benchmark::DoNotOptimize(set);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_IntervalSetInsert)->Range(64, 4096);
+
+void BM_IntervalSetOverlapQuery(benchmark::State& state) {
+  Rng rng(11);
+  IntervalSet set;
+  for (int i = 0; i < 1000; ++i) {
+    const double start = rng.uniform(0.0, 10000.0);
+    set.insert_disjoint({start, start + 1.0});
+  }
+  double t = 0.0;
+  for (auto _ : state) {
+    t += 13.37;
+    if (t > 10000.0) t = 0.0;
+    benchmark::DoNotOptimize(set.overlaps({t, t + 2.0}));
+  }
+}
+BENCHMARK(BM_IntervalSetOverlapQuery);
+
+void BM_SyntheticGeneration(benchmark::State& state) {
+  const auto spec = spec_for(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(generate_synthetic_graph(spec));
+  }
+}
+BENCHMARK(BM_SyntheticGeneration)->Range(16, 256);
+
+void BM_Cpa_TableOneCell(benchmark::State& state) {
+  const auto bench = make_cpa();
+  const Allocation alloc(bench.allocation);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        synthesize_dcsa(bench.graph, alloc, bench.wash));
+  }
+}
+BENCHMARK(BM_Cpa_TableOneCell);
+
+}  // namespace

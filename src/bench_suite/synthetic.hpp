@@ -1,0 +1,37 @@
+// Seeded synthetic bioassay generator.
+//
+// Generates layered DAGs that look like real assay plans: operations are
+// spread over layers, every non-source operation depends on one or two
+// operations from earlier layers (mix-like operations may take two inputs,
+// detections exactly one), durations are small integers, and output fluids
+// draw from the four reference diffusion classes so wash times span the
+// paper's 0.2 s - 6 s range. Fully deterministic per seed.
+
+#pragma once
+
+#include <cstdint>
+
+#include "biochip/component_library.hpp"
+#include "graph/sequencing_graph.hpp"
+
+namespace fbmb {
+
+struct SyntheticSpec {
+  int operations = 20;
+  std::uint64_t seed = 1;
+  /// Available component mix; operation types are drawn proportionally to
+  /// these counts (types with count 0 never appear).
+  AllocationSpec allocation{3, 3, 2, 1};
+  /// Operations per layer are drawn uniformly from [min_layer_width,
+  /// max_layer_width].
+  int min_layer_width = 2;
+  int max_layer_width = 5;
+  /// Inclusive range of operation durations, seconds.
+  int min_duration = 3;
+  int max_duration = 8;
+};
+
+/// Generates a valid (acyclic, connected-to-top) sequencing graph.
+SequencingGraph generate_synthetic_graph(const SyntheticSpec& spec);
+
+}  // namespace fbmb

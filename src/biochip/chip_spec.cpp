@@ -1,0 +1,20 @@
+#include "biochip/chip_spec.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fbmb {
+
+ChipSpec derive_grid(ChipSpec spec, int total_component_area,
+                     double inflation, int min_side) {
+  if (spec.has_fixed_grid()) return spec;
+  const double target_area =
+      std::max(1, total_component_area) * std::max(1.0, inflation);
+  const int side =
+      std::max(min_side, static_cast<int>(std::ceil(std::sqrt(target_area))));
+  spec.grid_width = side;
+  spec.grid_height = side;
+  return spec;
+}
+
+}  // namespace fbmb

@@ -1,0 +1,35 @@
+#include "biochip/component.hpp"
+
+#include <ostream>
+
+namespace fbmb {
+
+const char* component_type_name(ComponentType type) {
+  switch (type) {
+    case ComponentType::kMixer: return "Mixer";
+    case ComponentType::kHeater: return "Heater";
+    case ComponentType::kFilter: return "Filter";
+    case ComponentType::kDetector: return "Detector";
+  }
+  return "?";
+}
+
+std::ostream& operator<<(std::ostream& os, ComponentType type) {
+  return os << component_type_name(type);
+}
+
+std::ostream& operator<<(std::ostream& os, ComponentId id) {
+  return os << 'c' << id.value;
+}
+
+Rect default_footprint(ComponentType type) {
+  switch (type) {
+    case ComponentType::kMixer: return {0, 0, 4, 3};
+    case ComponentType::kHeater: return {0, 0, 3, 2};
+    case ComponentType::kFilter: return {0, 0, 2, 3};
+    case ComponentType::kDetector: return {0, 0, 2, 2};
+  }
+  return {0, 0, 3, 3};
+}
+
+}  // namespace fbmb

@@ -1,0 +1,69 @@
+// On-chip components: mixers, heaters, filters, detectors.
+//
+// A component executes one operation at a time. Its footprint occupies a
+// rectangle of routing-grid cells; fluids enter and leave through a port
+// cell on the footprint boundary. Table I of the paper describes component
+// allocations in the format (Mixers, Heaters, Filters, Detectors).
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "util/geometry.hpp"
+
+namespace fbmb {
+
+/// Operation / component classes. A component of type X executes operations
+/// of type X (qualified component, Section IV-A).
+enum class ComponentType : std::uint8_t {
+  kMixer = 0,
+  kHeater = 1,
+  kFilter = 2,
+  kDetector = 3,
+};
+
+inline constexpr std::size_t kComponentTypeCount = 4;
+
+inline constexpr std::array<ComponentType, kComponentTypeCount>
+    kAllComponentTypes = {ComponentType::kMixer, ComponentType::kHeater,
+                          ComponentType::kFilter, ComponentType::kDetector};
+
+const char* component_type_name(ComponentType type);
+std::ostream& operator<<(std::ostream& os, ComponentType type);
+
+/// Strongly-typed component identifier (index into the allocation).
+struct ComponentId {
+  int value = -1;
+  friend auto operator<=>(const ComponentId&, const ComponentId&) = default;
+  bool valid() const { return value >= 0; }
+};
+
+inline constexpr ComponentId kNoComponent{-1};
+
+std::ostream& operator<<(std::ostream& os, ComponentId id);
+
+/// An allocated component instance.
+struct Component {
+  ComponentId id;
+  ComponentType type = ComponentType::kMixer;
+  std::string name;     ///< e.g. "Mixer1"
+  int width = 3;        ///< footprint width in grid cells (unrotated)
+  int height = 3;       ///< footprint height in grid cells (unrotated)
+};
+
+/// Default footprints per component type, in grid cells. Values follow
+/// typical flow-layer dimensions (a ring mixer is the largest primitive;
+/// detectors are compact optical windows).
+Rect default_footprint(ComponentType type);
+
+}  // namespace fbmb
+
+template <>
+struct std::hash<fbmb::ComponentId> {
+  size_t operator()(const fbmb::ComponentId& id) const noexcept {
+    return std::hash<int>{}(id.value);
+  }
+};

@@ -1,0 +1,53 @@
+#include "biochip/component_library.hpp"
+
+#include <cassert>
+#include <sstream>
+
+namespace fbmb {
+
+int AllocationSpec::count(ComponentType type) const {
+  switch (type) {
+    case ComponentType::kMixer: return mixers;
+    case ComponentType::kHeater: return heaters;
+    case ComponentType::kFilter: return filters;
+    case ComponentType::kDetector: return detectors;
+  }
+  return 0;
+}
+
+std::string AllocationSpec::to_string() const {
+  std::ostringstream os;
+  os << '(' << mixers << ',' << heaters << ',' << filters << ','
+     << detectors << ')';
+  return os.str();
+}
+
+Allocation::Allocation(const AllocationSpec& spec) : spec_(spec) {
+  assert(spec.mixers >= 0 && spec.heaters >= 0 && spec.filters >= 0 &&
+         spec.detectors >= 0);
+  int next_id = 0;
+  for (ComponentType type : kAllComponentTypes) {
+    const int n = spec.count(type);
+    for (int i = 0; i < n; ++i) {
+      Component c;
+      c.id = ComponentId{next_id++};
+      c.type = type;
+      c.name = std::string(component_type_name(type)) + std::to_string(i + 1);
+      const Rect fp = default_footprint(type);
+      c.width = fp.width;
+      c.height = fp.height;
+      components_.push_back(std::move(c));
+    }
+  }
+}
+
+std::vector<ComponentId> Allocation::components_of_type(
+    ComponentType type) const {
+  std::vector<ComponentId> out;
+  for (const auto& c : components_) {
+    if (c.type == type) out.push_back(c.id);
+  }
+  return out;
+}
+
+}  // namespace fbmb

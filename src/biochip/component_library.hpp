@@ -1,0 +1,62 @@
+// Component allocation: the set C of allocated components (Section III).
+//
+// The paper specifies allocations in the format (Mixers, Heaters, Filters,
+// Detectors), e.g. CPA uses (8,0,0,2). An Allocation instantiates named
+// Component objects from an AllocationSpec and answers type queries.
+
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "biochip/component.hpp"
+
+namespace fbmb {
+
+/// Counts per component type, in the paper's (M,H,F,D) order.
+struct AllocationSpec {
+  int mixers = 0;
+  int heaters = 0;
+  int filters = 0;
+  int detectors = 0;
+
+  friend auto operator<=>(const AllocationSpec&,
+                          const AllocationSpec&) = default;
+
+  int count(ComponentType type) const;
+  int total() const { return mixers + heaters + filters + detectors; }
+
+  /// Renders as "(M,H,F,D)", matching Table I column 3.
+  std::string to_string() const;
+};
+
+/// The instantiated component set C.
+class Allocation {
+ public:
+  Allocation() = default;
+  explicit Allocation(const AllocationSpec& spec);
+
+  const AllocationSpec& spec() const { return spec_; }
+  const std::vector<Component>& components() const { return components_; }
+  std::size_t size() const { return components_.size(); }
+  bool empty() const { return components_.empty(); }
+
+  const Component& component(ComponentId id) const {
+    return components_.at(static_cast<std::size_t>(id.value));
+  }
+
+  /// Ids of components able to execute operations of `type`, in allocation
+  /// order ("qualified components").
+  std::vector<ComponentId> components_of_type(ComponentType type) const;
+
+  bool has_type(ComponentType type) const {
+    return spec_.count(type) > 0;
+  }
+
+ private:
+  AllocationSpec spec_;
+  std::vector<Component> components_;
+};
+
+}  // namespace fbmb

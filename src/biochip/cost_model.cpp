@@ -1,0 +1,17 @@
+#include "biochip/cost_model.hpp"
+
+namespace fbmb {
+
+CostBreakdown chip_cost(int area_cells, double channel_length_mm,
+                        int valve_count, int control_lines,
+                        int pressure_ports, const CostWeights& weights) {
+  CostBreakdown cost;
+  cost.area = weights.per_area_cell * area_cells;
+  cost.channels = weights.per_channel_mm * channel_length_mm;
+  cost.valves = weights.per_valve * valve_count;
+  cost.control_lines = weights.per_control_line * control_lines;
+  cost.pressure_ports = weights.per_pressure_port * pressure_ports;
+  return cost;
+}
+
+}  // namespace fbmb

@@ -1,0 +1,41 @@
+// Fabrication-cost roll-up.
+//
+// The paper argues DCSA "not only improve[s] the execution efficiency of
+// bioassays, but also reduce[s] fabrication costs" (Section I). This model
+// aggregates the cost drivers of a two-layer PDMS chip into one comparable
+// figure: flow-layer area, channel length, valve count, control lines, and
+// external pressure ports. The weights are relative (dimensionless cost
+// units); defaults reflect that control ports and valves dominate the
+// fabrication/packaging cost of soft-lithography devices.
+
+#pragma once
+
+namespace fbmb {
+
+struct CostWeights {
+  double per_area_cell = 0.2;     ///< flow-layer real estate
+  double per_channel_mm = 0.05;   ///< channel molding/length
+  double per_valve = 1.0;         ///< control-layer valve
+  double per_control_line = 2.0;  ///< routed control channel + off-chip line
+  double per_pressure_port = 3.0; ///< punched port + external connection
+};
+
+struct CostBreakdown {
+  double area = 0.0;
+  double channels = 0.0;
+  double valves = 0.0;
+  double control_lines = 0.0;
+  double pressure_ports = 0.0;
+
+  double total() const {
+    return area + channels + valves + control_lines + pressure_ports;
+  }
+};
+
+/// Combines the raw counts with the weights.
+CostBreakdown chip_cost(int area_cells, double channel_length_mm,
+                        int valve_count, int control_lines,
+                        int pressure_ports,
+                        const CostWeights& weights = {});
+
+}  // namespace fbmb

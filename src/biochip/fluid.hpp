@@ -1,0 +1,38 @@
+// Fluids and their diffusion coefficients.
+//
+// Every operation in a bioassay produces an output fluid characterized by a
+// diffusion coefficient D (cm^2/s). D dominates the wash time needed to
+// remove the fluid's residue from a component or flow channel (Section II-B
+// of the paper; experimental basis in Hu et al., TCAD'16): small molecules
+// (D ~ 1e-5) wash in ~0.2 s, large particles such as tobacco mosaic virus
+// (D ~ 5e-8) need ~6 s.
+
+#pragma once
+
+#include <compare>
+#include <string>
+
+namespace fbmb {
+
+/// A fluid sample flowing through the chip.
+struct Fluid {
+  std::string name;
+  /// Diffusion coefficient in cm^2/s; must be > 0.
+  double diffusion_coefficient = 1e-5;
+
+  friend auto operator<=>(const Fluid&, const Fluid&) = default;
+};
+
+/// Reference diffusion coefficients from the paper's Section II-B.
+namespace diffusion {
+/// Small molecules (e.g. lysis buffer): high D, short wash.
+inline constexpr double kSmallMolecule = 1e-5;
+/// Typical protein-scale sample.
+inline constexpr double kProtein = 1e-6;
+/// Large complexes / nucleic acids.
+inline constexpr double kLargeComplex = 2e-7;
+/// Cells / virions (e.g. tobacco mosaic virus): low D, long wash.
+inline constexpr double kCell = 5e-8;
+}  // namespace diffusion
+
+}  // namespace fbmb

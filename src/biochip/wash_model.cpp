@@ -1,0 +1,45 @@
+#include "biochip/wash_model.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace fbmb {
+
+WashModel::WashModel(double d_fast, double t_fast, double d_slow,
+                     double t_slow)
+    : d_fast_(d_fast), t_fast_(t_fast), d_slow_(d_slow), t_slow_(t_slow) {
+  assert(d_fast_ > d_slow_ && d_slow_ > 0.0);
+  assert(t_slow_ >= t_fast_ && t_fast_ >= 0.0);
+}
+
+double WashModel::wash_time(double d) const {
+  assert(d > 0.0);
+  if (auto it = overrides_.find(d); it != overrides_.end()) {
+    return it->second;
+  }
+  const double x = std::log10(d);
+  const double x_fast = std::log10(d_fast_);
+  const double x_slow = std::log10(d_slow_);
+  if (x >= x_fast) return t_fast_;
+  if (x <= x_slow) return t_slow_;
+  // Linear in log10(D): lower D -> longer wash.
+  const double alpha = (x_fast - x) / (x_fast - x_slow);
+  return t_fast_ + alpha * (t_slow_ - t_fast_);
+}
+
+void WashModel::set_override(double d, double seconds) {
+  assert(d > 0.0 && seconds >= 0.0);
+  overrides_[d] = seconds;
+}
+
+double WashModel::diffusion_for_wash_time(double seconds) const {
+  const double t = std::clamp(seconds, t_fast_, t_slow_);
+  const double x_fast = std::log10(d_fast_);
+  const double x_slow = std::log10(d_slow_);
+  if (t_slow_ == t_fast_) return d_fast_;
+  const double alpha = (t - t_fast_) / (t_slow_ - t_fast_);
+  return std::pow(10.0, x_fast - alpha * (x_fast - x_slow));
+}
+
+}  // namespace fbmb

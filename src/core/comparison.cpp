@@ -1,0 +1,34 @@
+#include "core/comparison.hpp"
+
+#include "util/strings.hpp"
+
+namespace fbmb {
+
+double ComparisonRow::execution_improvement_pct() const {
+  return improvement_percent(ours.completion_time, baseline.completion_time);
+}
+
+double ComparisonRow::utilization_improvement_pct() const {
+  return gain_percent(ours.utilization, baseline.utilization);
+}
+
+double ComparisonRow::channel_length_improvement_pct() const {
+  return improvement_percent(ours.channel_length_mm,
+                             baseline.channel_length_mm);
+}
+
+ComparisonRow compare_flows(const std::string& name,
+                            const SequencingGraph& graph,
+                            const Allocation& allocation,
+                            const WashModel& wash_model,
+                            const SynthesisOptions& options) {
+  ComparisonRow row;
+  row.benchmark = name;
+  row.operation_count = static_cast<int>(graph.operation_count());
+  row.allocation = allocation.spec();
+  row.ours = synthesize_dcsa(graph, allocation, wash_model, options);
+  row.baseline = synthesize_baseline(graph, allocation, wash_model, options);
+  return row;
+}
+
+}  // namespace fbmb

@@ -1,0 +1,33 @@
+// Side-by-side comparison of the proposed flow and BA on one benchmark —
+// the unit of Table I / Fig. 8 / Fig. 9.
+
+#pragma once
+
+#include <string>
+
+#include "core/synthesis.hpp"
+
+namespace fbmb {
+
+struct ComparisonRow {
+  std::string benchmark;
+  int operation_count = 0;
+  AllocationSpec allocation;
+
+  SynthesisResult ours;
+  SynthesisResult baseline;
+
+  /// Table I improvement columns (smaller-is-better unless noted).
+  double execution_improvement_pct() const;    ///< (BA - ours)/BA
+  double utilization_improvement_pct() const;  ///< (ours - BA)/BA (larger better)
+  double channel_length_improvement_pct() const;
+};
+
+/// Runs both flows on the same inputs with the same options.
+ComparisonRow compare_flows(const std::string& name,
+                            const SequencingGraph& graph,
+                            const Allocation& allocation,
+                            const WashModel& wash_model,
+                            const SynthesisOptions& options = {});
+
+}  // namespace fbmb

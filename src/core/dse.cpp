@@ -1,0 +1,75 @@
+#include "core/dse.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "graph/graph_algorithms.hpp"
+#include "place/sa_placer.hpp"
+
+namespace fbmb {
+
+DseResult explore_allocations(const SequencingGraph& graph,
+                              const WashModel& wash_model,
+                              const DseOptions& options) {
+  const auto histogram = operation_type_histogram(graph);
+  auto needed = [&](ComponentType type) {
+    return histogram[static_cast<std::size_t>(type)] > 0;
+  };
+  const int min_m = needed(ComponentType::kMixer) ? 1 : 0;
+  const int min_h = needed(ComponentType::kHeater) ? 1 : 0;
+  const int min_f = needed(ComponentType::kFilter) ? 1 : 0;
+  const int min_d = needed(ComponentType::kDetector) ? 1 : 0;
+  const auto& max = options.max_allocation;
+
+  DseResult result;
+  for (int m = min_m; m <= std::max(min_m, max.mixers); ++m) {
+    for (int h = min_h; h <= std::max(min_h, max.heaters); ++h) {
+      for (int f = min_f; f <= std::max(min_f, max.filters); ++f) {
+        for (int d = min_d; d <= std::max(min_d, max.detectors); ++d) {
+          const AllocationSpec spec{m, h, f, d};
+          if (options.max_total_components > 0 &&
+              spec.total() > options.max_total_components) {
+            continue;
+          }
+          if (spec.total() == 0) continue;
+          const Allocation alloc(spec);
+          const SynthesisResult r = synthesize_dcsa(
+              graph, alloc, wash_model, options.synthesis);
+          DsePoint point;
+          point.allocation = spec;
+          point.completion_time = r.completion_time;
+          point.utilization = r.utilization;
+          point.channel_length_mm = r.channel_length_mm;
+          point.component_area = allocation_area(
+              alloc, options.synthesis.chip.component_spacing);
+          result.points.push_back(point);
+        }
+      }
+    }
+  }
+  if (result.points.empty()) {
+    throw std::invalid_argument("DSE bounds admit no feasible allocation");
+  }
+
+  // Pareto frontier over (completion_time, component_area), both minimized.
+  for (auto& p : result.points) {
+    p.pareto = std::none_of(
+        result.points.begin(), result.points.end(), [&](const DsePoint& q) {
+          const bool no_worse = q.completion_time <= p.completion_time &&
+                                q.component_area <= p.component_area;
+          const bool better = q.completion_time < p.completion_time ||
+                              q.component_area < p.component_area;
+          return no_worse && better;
+        });
+    if (p.pareto) result.frontier.push_back(p);
+  }
+  std::sort(result.frontier.begin(), result.frontier.end(),
+            [](const DsePoint& a, const DsePoint& b) {
+              return a.component_area != b.component_area
+                         ? a.component_area < b.component_area
+                         : a.completion_time < b.completion_time;
+            });
+  return result;
+}
+
+}  // namespace fbmb

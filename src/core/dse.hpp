@@ -1,0 +1,49 @@
+// Allocation design-space exploration.
+//
+// The paper treats the component allocation (Table I column 3) as an
+// input. This module explores that input: it sweeps candidate allocations
+// around the bioassay's needs, runs the full DCSA flow on each, and
+// returns the Pareto frontier of (completion time, component area) — the
+// architectural trade-off a chip designer actually faces. Exhaustive
+// within the given per-type bounds; the flow is fast enough (milliseconds
+// per point) that laptop-scale sweeps cover hundreds of allocations.
+
+#pragma once
+
+#include <vector>
+
+#include "core/synthesis.hpp"
+
+namespace fbmb {
+
+struct DseOptions {
+  /// Inclusive per-type upper bounds on allocated components; lower bounds
+  /// are 1 for types the assay uses and 0 otherwise.
+  AllocationSpec max_allocation{4, 2, 2, 2};
+  /// Full synthesis options applied to every point.
+  SynthesisOptions synthesis;
+  /// Skip points whose total component count exceeds this (0 = no cap).
+  int max_total_components = 0;
+};
+
+struct DsePoint {
+  AllocationSpec allocation;
+  double completion_time = 0.0;
+  double utilization = 0.0;
+  double channel_length_mm = 0.0;
+  int component_area = 0;  ///< footprints incl. spacing, in cells
+  bool pareto = false;     ///< on the (completion, area) frontier
+};
+
+struct DseResult {
+  std::vector<DsePoint> points;   ///< every evaluated allocation
+  std::vector<DsePoint> frontier; ///< Pareto-optimal subset, by area
+};
+
+/// Sweeps allocations and computes the Pareto frontier. Throws only if no
+/// feasible allocation exists within the bounds.
+DseResult explore_allocations(const SequencingGraph& graph,
+                              const WashModel& wash_model,
+                              const DseOptions& options = {});
+
+}  // namespace fbmb

@@ -1,0 +1,173 @@
+#include "core/synthesis.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <tuple>
+#include <vector>
+#include <sstream>
+
+#include "place/sa_placer.hpp"
+#include "route/grid.hpp"
+#include "util/logging.hpp"
+#include "schedule/retiming.hpp"
+#include "util/strings.hpp"
+
+namespace fbmb {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Routes the schedule; whenever routing had to postpone a task, the
+/// postponements are folded back into the schedule (retiming) and routing
+/// is redone from scratch on the updated times, until a conflict-free
+/// consistent (schedule, routing) pair emerges. Delays only ever push
+/// events later, so the loop converges; a generous round cap guards
+/// pathological cases (the final retiming is still applied then).
+RoutingResult route_until_consistent(Schedule& schedule,
+                                     const SequencingGraph& graph,
+                                     const Allocation& allocation,
+                                     const ChipSpec& chip,
+                                     const Placement& placement,
+                                     const WashModel& wash_model,
+                                     const RouterOptions& router_options) {
+  constexpr int kMaxRounds = 20;
+  int postponements = 0;
+  for (int round = 0;; ++round) {
+    RoutingGrid grid(chip, allocation, placement);
+    RoutingResult routing =
+        route_transports(grid, schedule, wash_model, router_options);
+    const bool any_delay =
+        std::any_of(routing.delays.begin(), routing.delays.end(),
+                    [](double d) { return d > 0.0; });
+    postponements += routing.conflict_postponements;
+    if (!any_delay || round + 1 >= kMaxRounds) {
+      if (any_delay) {
+        FBMB_WARN("routing still postponing after " << kMaxRounds
+                                                    << " rounds");
+        apply_transport_delays(schedule, graph, routing.delays);
+      }
+      routing.conflict_postponements = postponements;
+      return routing;
+    }
+    apply_transport_delays(schedule, graph, routing.delays);
+  }
+}
+
+SynthesisResult finish(const Allocation& allocation, Schedule schedule,
+                       Placement placement, RoutingResult routing,
+                       const ChipSpec& chip, Clock::time_point t0) {
+  SynthesisResult result;
+  result.stats = compute_schedule_stats(schedule, allocation);
+  result.completion_time = result.stats.completion_time;
+  result.utilization = result.stats.utilization;
+  result.total_cache_time = result.stats.total_cache_time;
+  result.channel_length_mm =
+      routing.total_channel_length_mm(chip.cell_pitch_mm);
+  result.channel_wash_time = routing.total_wash_time;
+  result.chip = chip;
+  result.schedule = std::move(schedule);
+  result.placement = std::move(placement);
+  result.routing = std::move(routing);
+  result.cpu_seconds = seconds_since(t0);
+  return result;
+}
+
+}  // namespace
+
+std::string SynthesisResult::summary() const {
+  std::ostringstream os;
+  os << "execution time " << format_double(completion_time, 1)
+     << " s, utilization " << format_double(utilization * 100.0, 1)
+     << " %, channel length " << format_double(channel_length_mm, 0)
+     << " mm, cache time " << format_double(total_cache_time, 1)
+     << " s, channel wash time " << format_double(channel_wash_time, 1)
+     << " s (cpu " << format_double(cpu_seconds, 3) << " s)";
+  return os.str();
+}
+
+SynthesisResult synthesize_custom(const SequencingGraph& graph,
+                                  const Allocation& allocation,
+                                  const WashModel& wash_model,
+                                  const SynthesisOptions& options) {
+  const auto t0 = Clock::now();
+  Schedule schedule =
+      schedule_bioassay(graph, allocation, wash_model, options.scheduler);
+
+  const ChipSpec chip = derive_grid(
+      options.chip,
+      allocation_area(allocation, options.chip.component_spacing));
+
+  if (options.placement == PlacementStrategy::kConstructive) {
+    Placement placement = place_components_baseline(
+        allocation, schedule, chip, options.baseline_placer);
+    RoutingResult routing =
+        route_until_consistent(schedule, graph, allocation, chip, placement,
+                               wash_model, options.router);
+    return finish(allocation, std::move(schedule), std::move(placement),
+                  std::move(routing), chip, t0);
+  }
+
+  // SA placement: route every restart's placement and keep the best
+  // end-to-end result — completion time first (the paper's primary
+  // objective), then channel length, then wash time. Placement energy
+  // (Eq. 3) is only a proxy for these, so selection happens on the routed
+  // metrics.
+  std::vector<Placement> candidates = place_component_candidates(
+      allocation, schedule, wash_model, chip, options.placer);
+  SynthesisResult best;
+  bool have_best = false;
+  for (Placement& placement : candidates) {
+    Schedule trial_schedule = schedule;
+    RoutingResult routing =
+        route_until_consistent(trial_schedule, graph, allocation, chip,
+                               placement, wash_model, options.router);
+    SynthesisResult result =
+        finish(allocation, std::move(trial_schedule), std::move(placement),
+               std::move(routing), chip, t0);
+    const auto key = [](const SynthesisResult& r) {
+      return std::make_tuple(r.completion_time, r.channel_length_mm,
+                             r.channel_wash_time);
+    };
+    if (!have_best || key(result) < key(best)) {
+      best = std::move(result);
+      have_best = true;
+    }
+  }
+  best.cpu_seconds = seconds_since(t0);
+  return best;
+}
+
+SynthesisResult synthesize_dcsa(const SequencingGraph& graph,
+                                const Allocation& allocation,
+                                const WashModel& wash_model,
+                                SynthesisOptions options) {
+  options.scheduler.policy = BindingPolicy::kDcsa;
+  options.scheduler.refine_storage = true;
+  options.router.wash_aware_weights = true;
+  options.router.conflict_aware = true;
+  options.placement = PlacementStrategy::kSimulatedAnnealing;
+  return synthesize_custom(graph, allocation, wash_model, options);
+}
+
+SynthesisResult synthesize_baseline(const SequencingGraph& graph,
+                                    const Allocation& allocation,
+                                    const WashModel& wash_model,
+                                    SynthesisOptions options) {
+  options.scheduler.policy = BindingPolicy::kBaseline;
+  options.scheduler.refine_storage = false;
+  // BA's construction-by-correction placement & routing are conflict-free
+  // (paths are corrected sequentially) but oblivious to wash times: every
+  // cell costs the same, so BA neither prefers cheap-to-wash channels nor
+  // grows shared paths.
+  options.router.wash_aware_weights = false;
+  options.router.conflict_aware = true;
+  options.placement = PlacementStrategy::kConstructive;
+  return synthesize_custom(graph, allocation, wash_model, options);
+}
+
+}  // namespace fbmb

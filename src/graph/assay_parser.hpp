@@ -1,0 +1,57 @@
+// Plain-text bioassay format.
+//
+// Lets users keep assays in files instead of C++:
+//
+//   # comments and blank lines are ignored
+//   op <name> <mix|heat|filter|detect> <duration_s> [wash=<s>|d=<coeff>]
+//   dep <producer> <consumer>
+//   allocate <mixers> <heaters> <filters> <detectors>
+//
+// `wash=` pins the output fluid's wash time (an override is registered on
+// the returned wash model, like GraphBuilder::op_with_wash); `d=` sets the
+// raw diffusion coefficient. Without either, the output is a
+// small-molecule fluid. `allocate` may appear once; it is optional so a
+// file can describe a graph alone.
+
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "biochip/component_library.hpp"
+#include "biochip/wash_model.hpp"
+#include "graph/sequencing_graph.hpp"
+
+namespace fbmb {
+
+/// Parse failure with a 1-based line number in what().
+class AssayParseError : public std::runtime_error {
+ public:
+  AssayParseError(int line, const std::string& message)
+      : std::runtime_error("line " + std::to_string(line) + ": " + message),
+        line_(line) {}
+  int line() const { return line_; }
+
+ private:
+  int line_;
+};
+
+struct ParsedAssay {
+  SequencingGraph graph;
+  AllocationSpec allocation;   ///< all zeros when the file has no allocate
+  bool has_allocation = false;
+  WashModel wash;              ///< with any wash= overrides registered
+};
+
+/// Parses the text format above. Throws AssayParseError on malformed
+/// input; the returned graph is validated (acyclic, positive durations).
+ParsedAssay parse_assay(std::string_view text);
+
+/// Serializes a graph (+ optional allocation) back to the text format;
+/// parse_assay(write_assay(x)) reproduces the structure.
+std::string write_assay(const SequencingGraph& graph,
+                        const AllocationSpec* allocation = nullptr,
+                        const WashModel* wash = nullptr);
+
+}  // namespace fbmb

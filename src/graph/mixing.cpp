@@ -1,0 +1,90 @@
+#include "graph/mixing.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace fbmb {
+
+double Mixture::amount(const std::string& species) const {
+  const auto it = concentration.find(species);
+  return it == concentration.end() ? 0.0 : it->second * volume;
+}
+
+Mixture mix(const Mixture& a, const Mixture& b) {
+  Mixture out;
+  out.volume = a.volume + b.volume;
+  if (out.volume <= 0.0) return out;
+  for (const auto& [species, conc] : a.concentration) {
+    out.concentration[species] += conc * a.volume / out.volume;
+  }
+  for (const auto& [species, conc] : b.concentration) {
+    out.concentration[species] += conc * b.volume / out.volume;
+  }
+  return out;
+}
+
+std::vector<Mixture> split(const Mixture& m, int parts) {
+  assert(parts > 0);
+  std::vector<Mixture> out(static_cast<std::size_t>(parts), m);
+  for (auto& part : out) {
+    part.volume = m.volume / parts;
+  }
+  return out;
+}
+
+std::vector<Mixture> propagate_mixtures(
+    const SequencingGraph& graph,
+    const std::map<int, Mixture>& source_mixtures) {
+  const auto order = graph.topological_order();
+  assert(order.has_value() && "graph must be acyclic");
+  std::vector<Mixture> outputs(graph.operation_count());
+
+  for (OperationId id : *order) {
+    const auto& parents = graph.parents(id);
+    Mixture input;
+    if (parents.empty()) {
+      if (auto it = source_mixtures.find(id.value);
+          it != source_mixtures.end()) {
+        input = it->second;
+      } else {
+        input.volume = 1.0;  // default: unit plug of pure buffer
+      }
+    } else {
+      for (OperationId parent : parents) {
+        const int fanout =
+            static_cast<int>(graph.children(parent).size());
+        Mixture share =
+            outputs[static_cast<std::size_t>(parent.value)];
+        share.volume /= std::max(1, fanout);
+        input = mix(input, share);
+      }
+    }
+    outputs[static_cast<std::size_t>(id.value)] = input;
+  }
+  return outputs;
+}
+
+double volume_conservation_error(
+    const SequencingGraph& graph,
+    const std::map<int, Mixture>& source_mixtures) {
+  const auto outputs = propagate_mixtures(graph, source_mixtures);
+  double in = 0.0;
+  for (const auto& op : graph.operations()) {
+    if (!graph.parents(op.id).empty()) continue;
+    if (auto it = source_mixtures.find(op.id.value);
+        it != source_mixtures.end()) {
+      in += it->second.volume;
+    } else {
+      in += 1.0;
+    }
+  }
+  double out = 0.0;
+  for (const auto& op : graph.operations()) {
+    if (graph.children(op.id).empty()) {
+      out += outputs[static_cast<std::size_t>(op.id.value)].volume;
+    }
+  }
+  return std::abs(in - out);
+}
+
+}  // namespace fbmb

@@ -1,0 +1,60 @@
+// Fluid volumes and mixture concentrations.
+//
+// Flow-layer mixers combine two input plugs into one output plug; serial
+// dilution (the heart of CPA) repeatedly mixes a sample 1:1 with buffer to
+// halve its concentration. This module models mixtures as volumes plus
+// per-species concentrations and propagates them through a sequencing
+// graph, so a synthesized assay's chemistry can be verified: volumes are
+// conserved, concentrations follow the volume-weighted average, and a
+// dilution tree's leaves hit their target levels.
+
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "graph/sequencing_graph.hpp"
+
+namespace fbmb {
+
+/// A fluid plug: volume (arbitrary units, e.g. uL) and per-species
+/// concentrations (arbitrary units, e.g. ng/uL).
+struct Mixture {
+  double volume = 0.0;
+  std::map<std::string, double> concentration;
+
+  /// Amount of a species (volume * concentration).
+  double amount(const std::string& species) const;
+};
+
+/// Volume-weighted combination of two plugs (what a mixer chamber does).
+Mixture mix(const Mixture& a, const Mixture& b);
+
+/// Splits a plug into `parts` equal-volume plugs (same concentrations).
+std::vector<Mixture> split(const Mixture& m, int parts);
+
+/// Concentration propagation through a bioassay.
+///
+/// Sources (operations without parents) take their input mixtures from
+/// `source_mixtures` (keyed by operation id; missing sources default to 1.0
+/// volume of pure buffer). Interior operations combine their parents'
+/// output shares: a parent's output volume is split evenly over its
+/// out-edges. Non-mixing operations (heat/filter/detect) pass their single
+/// input through unchanged; mixers with one parent pass through too (a
+/// mixing step against nothing is a move).
+///
+/// Returns the output mixture per operation, indexed by OperationId::value.
+std::vector<Mixture> propagate_mixtures(
+    const SequencingGraph& graph,
+    const std::map<int, Mixture>& source_mixtures);
+
+/// Total volume conservation check: sum of source volumes equals the sum
+/// of sink-output volumes plus any volume parked at operations whose
+/// out-edges exceed their consumers (none in a well-formed assay). Returns
+/// the absolute difference (0 for a conserving propagation).
+double volume_conservation_error(
+    const SequencingGraph& graph,
+    const std::map<int, Mixture>& source_mixtures);
+
+}  // namespace fbmb

@@ -1,0 +1,152 @@
+#include "graph/sequencing_graph.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <ostream>
+#include <sstream>
+
+namespace fbmb {
+
+std::ostream& operator<<(std::ostream& os, OperationId id) {
+  return os << 'o' << id.value;
+}
+
+OperationId SequencingGraph::add_operation(std::string name,
+                                           ComponentType type,
+                                           double duration) {
+  Fluid fluid{name + "_out", diffusion::kSmallMolecule};
+  return add_operation(std::move(name), type, duration, std::move(fluid));
+}
+
+OperationId SequencingGraph::add_operation(std::string name,
+                                           ComponentType type,
+                                           double duration, Fluid output) {
+  const OperationId id{static_cast<int>(operations_.size())};
+  Operation op;
+  op.id = id;
+  op.name = std::move(name);
+  op.type = type;
+  op.duration = duration;
+  op.output = std::move(output);
+  operations_.push_back(std::move(op));
+  children_.emplace_back();
+  parents_.emplace_back();
+  return id;
+}
+
+bool SequencingGraph::add_dependency(OperationId from, OperationId to) {
+  const int n = static_cast<int>(operations_.size());
+  if (from.value < 0 || from.value >= n || to.value < 0 || to.value >= n) {
+    return false;
+  }
+  if (from == to) return false;
+  if (has_dependency(from, to)) return false;
+  children_[static_cast<std::size_t>(from.value)].push_back(to);
+  parents_[static_cast<std::size_t>(to.value)].push_back(from);
+  ++edge_count_;
+  return true;
+}
+
+bool SequencingGraph::has_dependency(OperationId from, OperationId to) const {
+  const auto& kids = children_.at(static_cast<std::size_t>(from.value));
+  return std::find(kids.begin(), kids.end(), to) != kids.end();
+}
+
+std::vector<Dependency> SequencingGraph::dependencies() const {
+  std::vector<Dependency> out;
+  out.reserve(edge_count_);
+  for (const auto& op : operations_) {
+    for (OperationId child : children(op.id)) {
+      out.push_back({op.id, child});
+    }
+  }
+  return out;
+}
+
+std::vector<OperationId> SequencingGraph::sources() const {
+  std::vector<OperationId> out;
+  for (const auto& op : operations_) {
+    if (parents(op.id).empty()) out.push_back(op.id);
+  }
+  return out;
+}
+
+std::vector<OperationId> SequencingGraph::sinks() const {
+  std::vector<OperationId> out;
+  for (const auto& op : operations_) {
+    if (children(op.id).empty()) out.push_back(op.id);
+  }
+  return out;
+}
+
+std::optional<std::vector<OperationId>> SequencingGraph::topological_order()
+    const {
+  // Kahn's algorithm; a FIFO over ready vertices yields a stable order.
+  std::vector<int> indegree(operations_.size(), 0);
+  for (std::size_t i = 0; i < operations_.size(); ++i) {
+    indegree[i] = static_cast<int>(parents_[i].size());
+  }
+  std::deque<OperationId> ready;
+  for (std::size_t i = 0; i < operations_.size(); ++i) {
+    if (indegree[i] == 0) ready.push_back(OperationId{static_cast<int>(i)});
+  }
+  std::vector<OperationId> order;
+  order.reserve(operations_.size());
+  while (!ready.empty()) {
+    const OperationId id = ready.front();
+    ready.pop_front();
+    order.push_back(id);
+    for (OperationId child : children(id)) {
+      if (--indegree[static_cast<std::size_t>(child.value)] == 0) {
+        ready.push_back(child);
+      }
+    }
+  }
+  if (order.size() != operations_.size()) return std::nullopt;  // cycle
+  return order;
+}
+
+bool SequencingGraph::is_acyclic() const {
+  return topological_order().has_value();
+}
+
+std::optional<std::string> SequencingGraph::validate() const {
+  if (!is_acyclic()) return "sequencing graph contains a cycle";
+  for (const auto& op : operations_) {
+    if (op.duration <= 0.0) {
+      return "operation " + op.name + " has non-positive duration";
+    }
+    if (op.output.diffusion_coefficient <= 0.0) {
+      return "operation " + op.name +
+             " has non-positive diffusion coefficient";
+    }
+  }
+  return std::nullopt;
+}
+
+std::string SequencingGraph::to_dot() const {
+  std::ostringstream os;
+  os << "digraph bioassay {\n  rankdir=TB;\n";
+  for (const auto& op : operations_) {
+    const char* color = "lightblue";
+    switch (op.type) {
+      case ComponentType::kMixer: color = "lightblue"; break;
+      case ComponentType::kHeater: color = "salmon"; break;
+      case ComponentType::kFilter: color = "palegreen"; break;
+      case ComponentType::kDetector: color = "gold"; break;
+    }
+    os << "  n" << op.id.value << " [label=\"" << op.name << "\\n"
+       << component_type_name(op.type) << " " << op.duration
+       << "s\", style=filled, fillcolor=" << color << "];\n";
+  }
+  for (const auto& op : operations_) {
+    for (OperationId child : children(op.id)) {
+      os << "  n" << op.id.value << " -> n" << child.value << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace fbmb

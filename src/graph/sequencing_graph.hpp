@@ -1,0 +1,124 @@
+// Sequencing graphs: the bioassay model G(O, E) (Section II-C).
+//
+// Each vertex is an operation with a type (deciding which component class
+// can execute it), an execution time, and an output fluid whose diffusion
+// coefficient drives wash times. Each directed edge o_i -> o_k is a fluidic
+// dependency: out(o_i) is an input of o_k and must be transported (or kept
+// in place) before o_k starts.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "biochip/component.hpp"
+#include "biochip/fluid.hpp"
+
+namespace fbmb {
+
+/// Strongly-typed operation identifier (dense index into the graph).
+struct OperationId {
+  int value = -1;
+  friend auto operator<=>(const OperationId&, const OperationId&) = default;
+  bool valid() const { return value >= 0; }
+};
+
+inline constexpr OperationId kNoOperation{-1};
+
+std::ostream& operator<<(std::ostream& os, OperationId id);
+
+/// A bioassay operation o_i.
+struct Operation {
+  OperationId id;
+  std::string name;                          ///< e.g. "o1"
+  ComponentType type = ComponentType::kMixer;
+  double duration = 1.0;                     ///< execution time, seconds
+  Fluid output;                              ///< out(o_i)
+};
+
+/// A fluidic dependency e_{i,k}: out(from) feeds operation `to`.
+struct Dependency {
+  OperationId from;
+  OperationId to;
+  friend auto operator<=>(const Dependency&, const Dependency&) = default;
+};
+
+/// A directed acyclic sequencing graph. Operations receive dense ids in
+/// insertion order; dependency insertion validates endpoints but cycle
+/// checking is deferred to validate()/is_acyclic() so builders can assemble
+/// graphs freely.
+class SequencingGraph {
+ public:
+  /// Adds an operation; its output fluid defaults to a small-molecule fluid
+  /// named after the operation. Returns the new id.
+  OperationId add_operation(std::string name, ComponentType type,
+                            double duration);
+  OperationId add_operation(std::string name, ComponentType type,
+                            double duration, Fluid output);
+
+  /// Adds a dependency edge. Endpoints must exist; duplicate edges and
+  /// self-loops are rejected (returns false).
+  bool add_dependency(OperationId from, OperationId to);
+
+  std::size_t operation_count() const { return operations_.size(); }
+  std::size_t dependency_count() const { return edge_count_; }
+  bool empty() const { return operations_.empty(); }
+
+  const Operation& operation(OperationId id) const {
+    return operations_.at(static_cast<std::size_t>(id.value));
+  }
+  Operation& operation(OperationId id) {
+    return operations_.at(static_cast<std::size_t>(id.value));
+  }
+  const std::vector<Operation>& operations() const { return operations_; }
+
+  /// Direct successors (children) / predecessors (fathers) of `id`.
+  const std::vector<OperationId>& children(OperationId id) const {
+    return children_.at(static_cast<std::size_t>(id.value));
+  }
+  const std::vector<OperationId>& parents(OperationId id) const {
+    return parents_.at(static_cast<std::size_t>(id.value));
+  }
+
+  bool has_dependency(OperationId from, OperationId to) const;
+
+  /// All edges in insertion order.
+  std::vector<Dependency> dependencies() const;
+
+  /// Operations with no parents / no children.
+  std::vector<OperationId> sources() const;
+  std::vector<OperationId> sinks() const;
+
+  /// True iff the graph contains no directed cycle.
+  bool is_acyclic() const;
+
+  /// A topological order of all operations; empty optional if cyclic.
+  std::optional<std::vector<OperationId>> topological_order() const;
+
+  /// Validation for use at API boundaries: acyclic, every operation has
+  /// positive duration and positive diffusion coefficient. Returns an error
+  /// description, or nullopt if valid.
+  std::optional<std::string> validate() const;
+
+  /// GraphViz DOT rendering (types as colors, durations as labels).
+  std::string to_dot() const;
+
+ private:
+  std::vector<Operation> operations_;
+  std::vector<std::vector<OperationId>> children_;
+  std::vector<std::vector<OperationId>> parents_;
+  std::size_t edge_count_ = 0;
+};
+
+}  // namespace fbmb
+
+template <>
+struct std::hash<fbmb::OperationId> {
+  size_t operator()(const fbmb::OperationId& id) const noexcept {
+    return std::hash<int>{}(id.value);
+  }
+};

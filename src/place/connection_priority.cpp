@@ -1,0 +1,47 @@
+#include "place/connection_priority.hpp"
+
+#include <algorithm>
+
+#include "util/interval_set.hpp"
+
+namespace fbmb {
+
+int concurrent_transport_count(const std::vector<TransportTask>& transports,
+                               std::size_t index) {
+  const TimeInterval window{transports[index].departure,
+                            transports[index].arrival()};
+  int count = 0;
+  for (std::size_t i = 0; i < transports.size(); ++i) {
+    if (i == index) continue;
+    const TimeInterval other{transports[i].departure,
+                             transports[i].arrival()};
+    if (window.overlaps(other)) ++count;
+  }
+  return count;
+}
+
+std::vector<Net> build_nets(const Schedule& schedule,
+                            const WashModel& wash_model, double beta,
+                            double gamma) {
+  std::map<std::pair<int, int>, Net> nets;
+  const auto& transports = schedule.transports;
+  for (std::size_t k = 0; k < transports.size(); ++k) {
+    const TransportTask& t = transports[k];
+    if (t.from == t.to) continue;
+    const int lo = std::min(t.from.value, t.to.value);
+    const int hi = std::max(t.from.value, t.to.value);
+    Net& net = nets[{lo, hi}];
+    net.a = ComponentId{lo};
+    net.b = ComponentId{hi};
+    const double nt = concurrent_transport_count(transports, k);
+    const double wt = wash_model.wash_time(t.fluid);
+    net.priority += beta * nt + gamma * wt;
+    ++net.task_count;
+  }
+  std::vector<Net> out;
+  out.reserve(nets.size());
+  for (const auto& [key, net] : nets) out.push_back(net);
+  return out;
+}
+
+}  // namespace fbmb

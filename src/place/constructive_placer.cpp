@@ -1,0 +1,128 @@
+#include "place/constructive_placer.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace fbmb {
+
+namespace {
+
+bool fits_except(const Placement& placement, const Allocation& allocation,
+                 const ChipSpec& spec, ComponentId id) {
+  const Rect chip{0, 0, spec.grid_width, spec.grid_height};
+  const Rect fp = placement.footprint(id, allocation);
+  if (!chip.contains(fp)) return false;
+  const Rect inflated = fp.inflated(spec.component_spacing);
+  for (const auto& other : allocation.components()) {
+    if (other.id == id) continue;
+    if (inflated.overlaps(placement.footprint(other.id, allocation))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Placement shelf_pack(const Allocation& allocation, const ChipSpec& spec) {
+  Placement placement(allocation.size());
+  const int spacing = spec.component_spacing;
+  int x = spacing;
+  int y = spacing;
+  int row_height = 0;
+  for (const auto& comp : allocation.components()) {
+    if (x + comp.width + spacing > spec.grid_width) {
+      x = spacing;
+      y += row_height + spacing;
+      row_height = 0;
+    }
+    placement.at(comp.id) = {{x, y}, false};
+    x += comp.width + spacing;
+    row_height = std::max(row_height, comp.height);
+  }
+  if (!placement.is_legal(allocation, spec)) {
+    throw std::runtime_error(
+        "allocation does not fit on the chip grid; enlarge ChipSpec");
+  }
+  return placement;
+}
+
+}  // namespace
+
+Placement place_components_baseline(
+    const Allocation& allocation, const Schedule& schedule,
+    const ChipSpec& spec, const ConstructivePlacerOptions& options) {
+  if (!spec.has_fixed_grid()) {
+    throw std::invalid_argument(
+        "place_components_baseline requires a fixed grid");
+  }
+  if (allocation.empty()) return Placement{};
+
+  // Unweighted adjacency: which components exchange fluids at all.
+  std::set<std::pair<int, int>> edges;
+  for (const auto& t : schedule.transports) {
+    if (t.from == t.to) continue;
+    edges.insert({std::min(t.from.value, t.to.value),
+                  std::max(t.from.value, t.to.value)});
+  }
+  std::vector<std::vector<ComponentId>> neighbors(allocation.size());
+  for (const auto& [a, b] : edges) {
+    neighbors[static_cast<std::size_t>(a)].push_back(ComponentId{b});
+    neighbors[static_cast<std::size_t>(b)].push_back(ComponentId{a});
+  }
+
+  Placement placement = shelf_pack(allocation, spec);
+
+  // Sequential correction: relocate each component to the legal origin that
+  // minimizes the sum of Manhattan distances to its neighbours (then total
+  // spread as a tiebreak so disconnected components also settle).
+  const int stride = std::max(1, options.scan_stride);
+  for (int pass = 0; pass < options.correction_passes; ++pass) {
+    bool improved = false;
+    for (const auto& comp : allocation.components()) {
+      const auto& nbrs = neighbors[static_cast<std::size_t>(comp.id.value)];
+      const PlacedComponent original = placement.at(comp.id);
+      auto cost = [&]() {
+        long c = 0;
+        const Rect fp = placement.footprint(comp.id, allocation);
+        if (!nbrs.empty()) {
+          for (ComponentId n : nbrs) {
+            c += manhattan_distance(fp, placement.footprint(n, allocation));
+          }
+        } else {
+          for (const auto& other : allocation.components()) {
+            if (other.id == comp.id) continue;
+            c += manhattan_distance(
+                fp, placement.footprint(other.id, allocation));
+          }
+        }
+        return c;
+      };
+      long best_cost = cost();
+      PlacedComponent best = original;
+      for (int rot = 0; rot < 2; ++rot) {
+        const bool rotated = rot == 1;
+        const int w = rotated ? comp.height : comp.width;
+        const int h = rotated ? comp.width : comp.height;
+        for (int y = 0; y + h <= spec.grid_height; y += stride) {
+          for (int x = 0; x + w <= spec.grid_width; x += stride) {
+            placement.at(comp.id) = {{x, y}, rotated};
+            if (!fits_except(placement, allocation, spec, comp.id)) continue;
+            const long c = cost();
+            if (c < best_cost) {
+              best_cost = c;
+              best = placement.at(comp.id);
+            }
+          }
+        }
+      }
+      placement.at(comp.id) = best;
+      if (!(best.origin == original.origin && best.rotated == original.rotated)) {
+        improved = true;
+      }
+    }
+    if (!improved) break;
+  }
+  return placement;
+}
+
+}  // namespace fbmb

@@ -1,0 +1,31 @@
+// Baseline placement: construction by correction (Section V).
+//
+// The BA comparison flow "generates an initial solution and then corrects
+// those unsatisfactory component positions sequentially". We reproduce that:
+// a deterministic shelf-packed initial floorplan, followed by sequential
+// correction passes in which each component is greedily relocated to the
+// legal position minimizing its total unweighted Manhattan wirelength to
+// connected components. Unlike the SA placer, BA knows nothing about
+// connection priorities (Eq. 4): all nets weigh the same, so concurrency
+// and wash time do not influence the floorplan.
+
+#pragma once
+
+#include "biochip/chip_spec.hpp"
+#include "biochip/component_library.hpp"
+#include "place/placement.hpp"
+#include "schedule/types.hpp"
+
+namespace fbmb {
+
+struct ConstructivePlacerOptions {
+  int correction_passes = 3;
+  /// Scan stride over candidate origins (1 = every cell).
+  int scan_stride = 1;
+};
+
+Placement place_components_baseline(
+    const Allocation& allocation, const Schedule& schedule,
+    const ChipSpec& spec, const ConstructivePlacerOptions& options = {});
+
+}  // namespace fbmb

@@ -1,0 +1,72 @@
+// Generic simulated-annealing engine (Kirkpatrick et al., Science 1983).
+//
+// The paper's placement (Algorithm 2, lines 1-8) is classic SA: starting
+// from a random placement at temperature T0, each temperature level runs
+// I_max proposed transformations; a proposal is accepted if it lowers the
+// energy or with probability exp(-dE/T); T decays geometrically by alpha
+// until T_min. The engine is generic over the state type so tests can
+// exercise it on analytic toy problems with known optima.
+
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <utility>
+
+#include "util/rng.hpp"
+
+namespace fbmb {
+
+struct SaOptions {
+  double initial_temperature = 10000.0;  ///< T0
+  double min_temperature = 1.0;          ///< T_min
+  double cooling_rate = 0.9;             ///< alpha
+  int iterations_per_temperature = 150;  ///< I_max
+};
+
+struct SaResult {
+  double best_energy = 0.0;
+  long proposals = 0;
+  long acceptances = 0;
+};
+
+/// Runs simulated annealing.
+///   energy(state) -> double
+///   propose(state, rng) -> std::optional<State>  (nullopt = infeasible move)
+/// Tracks and returns the best state ever visited (not merely the final one).
+template <typename State, typename EnergyFn, typename ProposeFn>
+std::pair<State, SaResult> anneal(State initial, EnergyFn&& energy,
+                                  ProposeFn&& propose, const SaOptions& opts,
+                                  Rng& rng) {
+  State current = initial;
+  double current_energy = energy(current);
+  State best = current;
+  double best_energy = current_energy;
+  SaResult stats;
+
+  for (double t = opts.initial_temperature; t > opts.min_temperature;
+       t *= opts.cooling_rate) {
+    for (int i = 0; i < opts.iterations_per_temperature; ++i) {
+      ++stats.proposals;
+      std::optional<State> candidate = propose(current, rng);
+      if (!candidate) continue;
+      const double candidate_energy = energy(*candidate);
+      const double delta = candidate_energy - current_energy;
+      if (delta < 0.0 || rng.uniform() < std::exp(-delta / t)) {
+        current = std::move(*candidate);
+        current_energy = candidate_energy;
+        ++stats.acceptances;
+        if (current_energy < best_energy) {
+          best = current;
+          best_energy = current_energy;
+        }
+      }
+    }
+  }
+  stats.best_energy = best_energy;
+  return {std::move(best), stats};
+}
+
+}  // namespace fbmb

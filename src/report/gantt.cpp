@@ -1,0 +1,87 @@
+#include "report/gantt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "util/strings.hpp"
+
+namespace fbmb {
+
+namespace {
+
+/// Single-character tag for an operation: first letter of its name, or a
+/// type letter when the name is empty.
+char op_tag(const Operation& op) {
+  if (!op.name.empty()) return op.name.back();  // oN -> digit, mN -> digit
+  return component_type_name(op.type)[0];
+}
+
+}  // namespace
+
+std::string render_gantt(const Schedule& schedule,
+                         const SequencingGraph& graph,
+                         const Allocation& allocation,
+                         const GanttOptions& options) {
+  const double spc = std::max(1e-9, options.seconds_per_column);
+  const int want_columns = static_cast<int>(
+      std::ceil(schedule.completion_time / spc));
+  const bool truncated = want_columns > options.max_columns;
+  const int columns = std::min(want_columns, options.max_columns);
+
+  auto col_of = [&](double t) {
+    return std::clamp(static_cast<int>(t / spc), 0, columns - 1);
+  };
+
+  std::ostringstream os;
+  os << "t = 0 .. " << format_double(schedule.completion_time, 1) << " s ("
+     << format_double(spc, 2) << " s/col" << (truncated ? ", truncated" : "")
+     << ")\n";
+
+  std::size_t label_width = 8;
+  for (const auto& comp : allocation.components()) {
+    label_width = std::max(label_width, comp.name.size());
+  }
+
+  for (const auto& comp : allocation.components()) {
+    std::string row(static_cast<std::size_t>(columns), '.');
+    // Wash windows first so operations overwrite their boundaries cleanly.
+    for (const auto& wash : schedule.component_washes) {
+      if (wash.component != comp.id) continue;
+      for (int c = col_of(wash.start); c <= col_of(wash.end - 1e-9) &&
+                                       wash.duration() > 0.0;
+           ++c) {
+        row[static_cast<std::size_t>(c)] = 'w';
+      }
+    }
+    for (const auto& so : schedule.operations) {
+      if (so.component != comp.id) continue;
+      const char tag = op_tag(graph.operation(so.op));
+      for (int c = col_of(so.start); c <= col_of(so.end - 1e-9); ++c) {
+        row[static_cast<std::size_t>(c)] = tag;
+      }
+    }
+    if (truncated) row.back() = '>';
+    os << pad_right(comp.name, label_width) << " |" << row << "|\n";
+  }
+
+  // Channel-storage row: number of fluids parked in channels per column.
+  std::string channel(static_cast<std::size_t>(columns), '.');
+  for (int c = 0; c < columns; ++c) {
+    const double t = (c + 0.5) * spc;
+    int parked = 0;
+    for (const auto& task : schedule.transports) {
+      if (t >= task.arrival() && t < task.consume) ++parked;
+    }
+    if (parked > 0) {
+      channel[static_cast<std::size_t>(c)] =
+          parked < 10 ? static_cast<char>('0' + parked) : '+';
+    }
+  }
+  if (truncated) channel.back() = '>';
+  os << pad_right("channels", label_width) << " |" << channel << "|\n";
+  return os.str();
+}
+
+}  // namespace fbmb

@@ -1,0 +1,29 @@
+// ASCII Gantt rendering of a schedule: one row per component showing
+// operation execution (operation-name letters), wash windows ('w'), and
+// idle time ('.'), plus a channel row showing how many fluids are parked
+// in channel storage at each instant. Useful for eyeballing schedules in
+// terminals, docs, and test failure messages.
+
+#pragma once
+
+#include <string>
+
+#include "biochip/component_library.hpp"
+#include "graph/sequencing_graph.hpp"
+#include "schedule/types.hpp"
+
+namespace fbmb {
+
+struct GanttOptions {
+  /// Seconds represented by one character column.
+  double seconds_per_column = 1.0;
+  /// Cap on rendered columns (longer schedules are truncated with '>').
+  int max_columns = 160;
+};
+
+std::string render_gantt(const Schedule& schedule,
+                         const SequencingGraph& graph,
+                         const Allocation& allocation,
+                         const GanttOptions& options = {});
+
+}  // namespace fbmb

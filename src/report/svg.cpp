@@ -1,0 +1,108 @@
+#include "report/svg.hpp"
+
+#include <sstream>
+
+namespace fbmb {
+
+namespace {
+
+const char* component_fill(ComponentType type) {
+  switch (type) {
+    case ComponentType::kMixer: return "#7eb8da";
+    case ComponentType::kHeater: return "#e8927c";
+    case ComponentType::kFilter: return "#8fd19e";
+    case ComponentType::kDetector: return "#e9cf6b";
+  }
+  return "#cccccc";
+}
+
+/// Distinct stroke colors for routed paths (cycled).
+const char* path_stroke(int index) {
+  static const char* kPalette[] = {"#1f77b4", "#d62728", "#2ca02c",
+                                   "#9467bd", "#ff7f0e", "#17becf",
+                                   "#8c564b", "#e377c2"};
+  return kPalette[static_cast<std::size_t>(index) % 8];
+}
+
+}  // namespace
+
+std::string render_layout_svg(const Allocation& allocation,
+                              const Placement& placement,
+                              const ChipSpec& spec,
+                              const RoutingResult& routing,
+                              const SvgOptions& options) {
+  const int px = options.cell_pixels;
+  const int width = spec.grid_width * px;
+  const int height = spec.grid_height * px;
+  // SVG y grows downward; chip y grows upward — flip.
+  auto cx = [&](int x) { return x * px; };
+  auto cy = [&](int y) { return height - (y + 1) * px; };
+  auto center_x = [&](int x) { return cx(x) + px / 2; };
+  auto center_y = [&](int y) { return cy(y) + px / 2; };
+
+  std::ostringstream svg;
+  svg << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << width
+      << "\" height=\"" << height << "\" viewBox=\"0 0 " << width << ' '
+      << height << "\">\n";
+  svg << "  <rect width=\"" << width << "\" height=\"" << height
+      << "\" fill=\"#fafafa\"/>\n";
+
+  if (options.draw_grid) {
+    svg << "  <g stroke=\"#e4e4e4\" stroke-width=\"1\">\n";
+    for (int x = 0; x <= spec.grid_width; ++x) {
+      svg << "    <line x1=\"" << cx(x) << "\" y1=\"0\" x2=\"" << cx(x)
+          << "\" y2=\"" << height << "\"/>\n";
+    }
+    for (int y = 0; y <= spec.grid_height; ++y) {
+      svg << "    <line x1=\"0\" y1=\"" << y * px << "\" x2=\"" << width
+          << "\" y2=\"" << y * px << "\"/>\n";
+    }
+    svg << "  </g>\n";
+  }
+
+  // Routed channels under the components' labels but over the grid.
+  int color_index = 0;
+  for (const auto& path : routing.paths) {
+    if (path.cells.size() >= 2) {
+      svg << "  <polyline fill=\"none\" stroke=\""
+          << path_stroke(color_index) << "\" stroke-width=\""
+          << px / 3 << "\" stroke-linecap=\"round\" stroke-linejoin=\""
+          << "round\" opacity=\"0.55\" points=\"";
+      for (const Point& p : path.cells) {
+        svg << center_x(p.x) << ',' << center_y(p.y) << ' ';
+      }
+      svg << "\"/>\n";
+    }
+    if (options.highlight_cache_tails &&
+        path.cache_until > path.transport_end && !path.cells.empty()) {
+      // Mark the destination-side cache cell.
+      const Point& tail = path.cells.back();
+      svg << "  <circle cx=\"" << center_x(tail.x) << "\" cy=\""
+          << center_y(tail.y) << "\" r=\"" << px / 3
+          << "\" fill=\"none\" stroke=\"" << path_stroke(color_index)
+          << "\" stroke-width=\"2\" stroke-dasharray=\"3,2\"/>\n";
+    }
+    ++color_index;
+  }
+
+  // Component footprints.
+  for (const auto& comp : allocation.components()) {
+    const Rect fp = placement.footprint(comp.id, allocation);
+    svg << "  <rect x=\"" << cx(fp.x) << "\" y=\"" << cy(fp.top() - 1)
+        << "\" width=\"" << fp.width * px << "\" height=\""
+        << fp.height * px << "\" fill=\"" << component_fill(comp.type)
+        << "\" stroke=\"#444444\" stroke-width=\"2\" rx=\"4\"/>\n";
+    if (options.label_components) {
+      svg << "  <text x=\"" << cx(fp.x) + fp.width * px / 2 << "\" y=\""
+          << cy(fp.top() - 1) + fp.height * px / 2
+          << "\" text-anchor=\"middle\" dominant-baseline=\"central\" "
+             "font-family=\"sans-serif\" font-size=\""
+          << px / 2 << "\">" << comp.name << "</text>\n";
+    }
+  }
+
+  svg << "</svg>\n";
+  return svg.str();
+}
+
+}  // namespace fbmb

@@ -1,0 +1,31 @@
+// SVG rendering of synthesis results: the chip floorplan (component
+// footprints, grid) with the routed flow channels overlaid. Produces a
+// standalone .svg string suitable for documentation or debugging.
+
+#pragma once
+
+#include <string>
+
+#include "biochip/chip_spec.hpp"
+#include "biochip/component_library.hpp"
+#include "place/placement.hpp"
+#include "route/types.hpp"
+
+namespace fbmb {
+
+struct SvgOptions {
+  int cell_pixels = 24;      ///< drawn size of one grid cell
+  bool draw_grid = true;     ///< light gridlines
+  bool label_components = true;
+  bool highlight_cache_tails = true;  ///< mark channel-cache segments
+};
+
+/// Renders the floorplan and routed channels. The routing result may be
+/// empty to draw a placement alone.
+std::string render_layout_svg(const Allocation& allocation,
+                              const Placement& placement,
+                              const ChipSpec& spec,
+                              const RoutingResult& routing,
+                              const SvgOptions& options = {});
+
+}  // namespace fbmb

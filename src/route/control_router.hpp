@@ -1,0 +1,52 @@
+// Control-layer escape routing.
+//
+// Every valve on the flow layer is actuated through a control channel on
+// the second PDMS layer, driven from a pressure source at the chip
+// boundary. Valves with identical activation sets always switch together
+// (see estimate_control_multiplexing), so each such group shares one
+// control line: a channel tree connecting all of the group's valve sites
+// to one boundary exit. Control channels must not cross each other on
+// their layer, but they may pass over flow channels and components freely
+// (it is a separate layer).
+//
+// The router handles groups in deterministic order (larger groups first —
+// they are hardest to route), growing each group's tree Prim-style with
+// BFS over cells not used by other groups, then escaping to the nearest
+// free boundary cell. Groups that cannot be completed are reported, not
+// silently dropped.
+
+#pragma once
+
+#include <vector>
+
+#include "biochip/chip_spec.hpp"
+#include "route/control_estimate.hpp"
+#include "route/types.hpp"
+
+namespace fbmb {
+
+struct ControlRoute {
+  int line_id = -1;              ///< control line (activation-set group)
+  std::vector<Point> cells;      ///< the routed channel tree's cells
+  std::vector<Point> valve_cells;///< valve sites this line actuates
+  bool escaped = false;          ///< reached a boundary cell
+};
+
+struct ControlRoutingResult {
+  std::vector<ControlRoute> routes;
+  int unrouted_lines = 0;  ///< groups that failed to connect/escape
+
+  double total_length_mm(double cell_pitch_mm) const;
+  int total_cells() const;
+};
+
+/// Routes the control layer for a flow-layer result. Control channels are
+/// far narrower than flow channels, so the control grid is refined by
+/// `tracks_per_cell` tracks per flow cell (valves sit at their flow cell's
+/// center track). Reported lengths are in flow-cell units regardless.
+/// Deterministic.
+ControlRoutingResult route_control_layer(const RoutingResult& routing,
+                                         const ChipSpec& spec,
+                                         int tracks_per_cell = 3);
+
+}  // namespace fbmb

@@ -1,0 +1,58 @@
+#include "route/pressure_ports.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace fbmb {
+
+PressureAssignment assign_pressure_ports(const RoutingResult& routing) {
+  PressureAssignment assignment;
+  assignment.port_of.assign(routing.paths.size(), -1);
+
+  // Order by drive-window start; greedy interval partitioning with a
+  // min-heap of (window end, port) reuses the earliest-freed port.
+  std::vector<std::size_t> order(routing.paths.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  auto window_start = [&](std::size_t i) {
+    return routing.paths[i].start - routing.paths[i].wash_duration;
+  };
+  auto window_end = [&](std::size_t i) {
+    return routing.paths[i].transport_end;
+  };
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const double sa = window_start(a);
+    const double sb = window_start(b);
+    return sa != sb ? sa < sb : a < b;
+  });
+
+  using Freed = std::pair<double, int>;  // (window end, port id)
+  std::priority_queue<Freed, std::vector<Freed>, std::greater<Freed>> free_at;
+  std::vector<int> recycled;
+  int next_port = 0;
+  int active = 0;
+  for (std::size_t i : order) {
+    const double start = window_start(i);
+    while (!free_at.empty() && free_at.top().first <= start) {
+      // Port released before this window: recycle it.
+      recycled.push_back(free_at.top().second);
+      free_at.pop();
+      --active;
+    }
+    int port;
+    if (!recycled.empty()) {
+      port = recycled.back();
+      recycled.pop_back();
+    } else {
+      port = next_port++;
+    }
+    assignment.port_of[i] = port;
+    free_at.push({window_end(i), port});
+    ++active;
+    assignment.peak_concurrency = std::max(assignment.peak_concurrency,
+                                           active);
+  }
+  assignment.port_count = next_port;
+  return assignment;
+}
+
+}  // namespace fbmb

@@ -1,0 +1,31 @@
+// External pressure-port assignment.
+//
+// "Each channel is connected to a flow port, through which external
+// pressure can be injected to push the movement of fluids" (Section II-A).
+// Two movements can share one pressure source only if they never drive
+// flow at the same time, so the minimum number of chip-boundary pressure
+// ports equals the chromatic number of the tasks' interval graph — which,
+// for intervals, greedy earliest-start assignment attains exactly (and it
+// equals the peak number of simultaneously driven flows).
+//
+// A task drives flow during [start - wash, transport_end): the wash flush
+// and the push itself need pressure; a parked (cached) plug does not.
+
+#pragma once
+
+#include <vector>
+
+#include "route/types.hpp"
+
+namespace fbmb {
+
+struct PressureAssignment {
+  /// Port index per routed path (parallel to RoutingResult::paths).
+  std::vector<int> port_of;
+  int port_count = 0;       ///< distinct ports used (== peak concurrency)
+  int peak_concurrency = 0; ///< max simultaneously driven flows
+};
+
+PressureAssignment assign_pressure_ports(const RoutingResult& routing);
+
+}  // namespace fbmb

@@ -1,0 +1,130 @@
+#include "route/validator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <unordered_map>
+
+namespace fbmb {
+
+namespace {
+constexpr double kEps = 1e-6;
+}
+
+std::vector<std::string> validate_routing(
+    const RoutingResult& routing, const Schedule& schedule,
+    const RoutingGrid& grid, const WashModel& wash_model) {
+  std::vector<std::string> errors;
+  auto fail = [&errors](const std::string& msg) { errors.push_back(msg); };
+
+  if (routing.paths.size() != schedule.transports.size()) {
+    fail("path count != transport count");
+  }
+  std::vector<int> seen(schedule.transports.size(), 0);
+
+  // Independent occupancy / residue simulation.
+  std::unordered_map<Point, IntervalSet> occupancy;
+  std::unordered_map<Point, Fluid> residues;
+  const int cache_cells = grid.spec().cache_segment_cells;
+
+  for (const auto& path : routing.paths) {
+    if (path.transport_id < 0 ||
+        static_cast<std::size_t>(path.transport_id) >=
+            schedule.transports.size()) {
+      fail("routed path with invalid transport id");
+      continue;
+    }
+    ++seen[static_cast<std::size_t>(path.transport_id)];
+    const TransportTask& t =
+        schedule.transports[static_cast<std::size_t>(path.transport_id)];
+    std::ostringstream tag;
+    tag << "transport " << path.transport_id << " (c" << t.from.value
+        << "->c" << t.to.value << ")";
+
+    if (path.cells.empty()) {
+      fail(tag.str() + ": empty path");
+      continue;
+    }
+    // Connectivity and blockage.
+    bool shape_ok = true;
+    for (std::size_t i = 0; i < path.cells.size(); ++i) {
+      const Point& p = path.cells[i];
+      if (!grid.in_bounds(p)) {
+        fail(tag.str() + ": cell out of bounds " + to_string(p));
+        shape_ok = false;
+        break;
+      }
+      if (grid.blocked(p)) {
+        fail(tag.str() + ": path crosses a component footprint at " +
+             to_string(p));
+        shape_ok = false;
+        break;
+      }
+      if (i > 0 && manhattan_distance(path.cells[i - 1], p) != 1) {
+        fail(tag.str() + ": path not 4-connected at " + to_string(p));
+        shape_ok = false;
+        break;
+      }
+    }
+    if (!shape_ok) continue;
+
+    // Endpoints at ports.
+    const auto src_ports = grid.ports(t.from);
+    const auto dst_ports = grid.ports(t.to);
+    if (std::find(src_ports.begin(), src_ports.end(), path.cells.front()) ==
+        src_ports.end()) {
+      fail(tag.str() + ": does not start at a source port");
+    }
+    if (std::find(dst_ports.begin(), dst_ports.end(), path.cells.back()) ==
+        dst_ports.end()) {
+      fail(tag.str() + ": does not end at a destination port");
+    }
+
+    // Timing vs the schedule.
+    if (path.start + kEps < t.departure) {
+      fail(tag.str() + ": starts before the scheduled departure");
+    }
+    if (std::abs(path.transport_end - path.start - t.transport_time) >
+        kEps) {
+      fail(tag.str() + ": transport_end != start + t_c");
+    }
+    if (path.cache_until + kEps < path.transport_end) {
+      fail(tag.str() + ": cache_until before transport end");
+    }
+
+    // Temporal exclusion (re-simulated).
+    const int n = static_cast<int>(path.cells.size());
+    double flush = 0.0;
+    for (int i = 0; i < n; ++i) {
+      const Point& p = path.cells[static_cast<std::size_t>(i)];
+      double wash = 0.0;
+      if (auto it = residues.find(p);
+          it != residues.end() && it->second.name != t.fluid.name) {
+        wash = wash_model.wash_time(it->second);
+      }
+      flush = std::max(flush, wash);
+      const bool tail = (n - 1 - i) < cache_cells;
+      const double end = tail ? path.cache_until : path.transport_end;
+      if (!occupancy[p].insert_disjoint({path.start - wash, end})) {
+        fail(tag.str() + ": temporal conflict on cell " + to_string(p));
+      }
+      residues[p] = t.fluid;
+    }
+    if (std::abs(flush - path.wash_duration) > kEps) {
+      fail(tag.str() + ": recorded wash_duration mismatch (expected " +
+           std::to_string(flush) + ")");
+    }
+  }
+
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    if (seen[i] != 1) {
+      fail("transport " + std::to_string(i) + " routed " +
+           std::to_string(seen[i]) + " times");
+    }
+  }
+  return errors;
+}
+
+}  // namespace fbmb

@@ -1,0 +1,31 @@
+// Routing invariant checking.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "route/grid.hpp"
+#include "route/types.hpp"
+#include "schedule/types.hpp"
+
+namespace fbmb {
+
+/// Returns violated routing invariants (empty = valid):
+///  - every transport has exactly one routed path;
+///  - each path is 4-connected, starts at a port of the source component,
+///    ends at a port of the destination, and avoids component footprints;
+///  - no two paths overlap on a cell in time: for each cell, the required
+///    intervals (wash + movement + tail cache) of the tasks crossing it are
+///    pairwise disjoint;
+///  - path timing matches the (possibly delayed) transport timing:
+///    start >= transport departure, transport_end = start + t_c,
+///    cache_until >= transport_end.
+///
+/// `grid` must be a *fresh* grid over the same placement (the validator
+/// re-simulates occupancy itself; do not pass the grid the router mutated).
+std::vector<std::string> validate_routing(
+    const RoutingResult& routing, const Schedule& schedule,
+    const RoutingGrid& grid, const WashModel& wash_model);
+
+}  // namespace fbmb

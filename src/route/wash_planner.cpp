@@ -1,0 +1,156 @@
+#include "route/wash_planner.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <unordered_map>
+
+namespace fbmb {
+
+namespace {
+
+/// Nearest free boundary cell to `corner` by scanning the chip rim.
+Point free_boundary_cell(const RoutingGrid& grid, const Point& corner) {
+  Point best{-1, -1};
+  int best_d = std::numeric_limits<int>::max();
+  auto consider = [&](const Point& p) {
+    if (grid.blocked(p)) return;
+    const int d = manhattan_distance(p, corner);
+    if (d < best_d) {
+      best_d = d;
+      best = p;
+    }
+  };
+  for (int x = 0; x < grid.width(); ++x) {
+    consider({x, 0});
+    consider({x, grid.height() - 1});
+  }
+  for (int y = 0; y < grid.height(); ++y) {
+    consider({0, y});
+    consider({grid.width() - 1, y});
+  }
+  return best;
+}
+
+/// BFS shortest path avoiding blockages; empty if unreachable.
+std::vector<Point> bfs_path(const RoutingGrid& grid, const Point& from,
+                            const Point& to) {
+  if (!grid.in_bounds(from) || !grid.in_bounds(to) || grid.blocked(from) ||
+      grid.blocked(to)) {
+    return {};
+  }
+  if (from == to) return {from};
+  std::unordered_map<Point, Point> parent;
+  std::deque<Point> frontier{from};
+  parent[from] = from;
+  while (!frontier.empty()) {
+    const Point p = frontier.front();
+    frontier.pop_front();
+    for (const Point& next : grid.neighbors(p)) {
+      if (grid.blocked(next) || parent.contains(next)) continue;
+      parent[next] = p;
+      if (next == to) {
+        std::vector<Point> path{to};
+        Point cur = to;
+        while (cur != from) {
+          cur = parent[cur];
+          path.push_back(cur);
+        }
+        std::reverse(path.begin(), path.end());
+        return path;
+      }
+      frontier.push_back(next);
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+double WashPlan::total_flush_length_mm(double cell_pitch_mm) const {
+  long cells = 0;
+  for (const auto& flush : flushes) {
+    if (flush.feasible && flush.cells.size() > 1) {
+      cells += static_cast<long>(flush.cells.size()) - 1;
+    }
+  }
+  return static_cast<double>(cells) * cell_pitch_mm;
+}
+
+WashPlan plan_wash_pathways(const RoutingGrid& grid,
+                            const RoutingResult& routing,
+                            const Schedule& schedule,
+                            const WashPlanOptions& options) {
+  WashPlan plan;
+  plan.inlet = options.inlet.x >= 0
+                   ? options.inlet
+                   : free_boundary_cell(grid, {0, 0});
+  plan.outlet = options.outlet.x >= 0
+                    ? options.outlet
+                    : free_boundary_cell(
+                          grid, {grid.width() - 1, grid.height() - 1});
+
+  // Re-simulate the main traffic's occupancy (same replay the validator
+  // performs) so flush windows can be checked against it.
+  std::unordered_map<Point, IntervalSet> occupancy;
+  const int cache_cells = grid.spec().cache_segment_cells;
+  for (const auto& path : routing.paths) {
+    const int n = static_cast<int>(path.cells.size());
+    for (int i = 0; i < n; ++i) {
+      const bool tail = (n - 1 - i) < cache_cells;
+      const double end = tail ? path.cache_until : path.transport_end;
+      occupancy[path.cells[static_cast<std::size_t>(i)]].insert_merged(
+          {path.start, end});
+    }
+  }
+  (void)schedule;
+
+  for (const auto& path : routing.paths) {
+    if (path.wash_duration <= 0.0 || path.cells.empty()) continue;
+    WashPath flush;
+    flush.transport_id = path.transport_id;
+    flush.start = path.start - path.wash_duration;
+    flush.end = path.start;
+
+    const auto approach = bfs_path(grid, plan.inlet, path.cells.front());
+    const auto exit = bfs_path(grid, path.cells.back(), plan.outlet);
+    flush.feasible = !approach.empty() && !exit.empty();
+    if (flush.feasible) {
+      flush.cells = approach;
+      flush.cells.insert(flush.cells.end(), path.cells.begin() + 1,
+                         path.cells.end());
+      flush.cells.insert(flush.cells.end(), exit.begin() + 1, exit.end());
+      // Window check: the flush needs its whole pathway during its window.
+      // Cells of the washed path itself carry the task's own reservation
+      // (which starts at start - wash), so exclude the task's own interval
+      // by testing strictly before flush.end against *other* traffic via
+      // the conservative merged occupancy minus self: approximate by
+      // checking only approach/exit legs (the washed path's window was
+      // already proven exclusive by the router).
+      flush.conflict_free = true;
+      auto check_cell = [&](const Point& p) {
+        if (auto it = occupancy.find(p); it != occupancy.end()) {
+          if (it->second.overlaps({flush.start, flush.end})) {
+            flush.conflict_free = false;
+          }
+        }
+      };
+      // Skip the junction cells shared with the washed path: those carry
+      // the task's own reservation, which legitimately covers the window.
+      for (std::size_t i = 0; i + 1 < approach.size(); ++i) {
+        check_cell(approach[i]);
+        if (!flush.conflict_free) break;
+      }
+      for (std::size_t i = 1; flush.conflict_free && i < exit.size(); ++i) {
+        check_cell(exit[i]);
+      }
+    } else {
+      ++plan.infeasible_count;
+    }
+    if (flush.feasible && !flush.conflict_free) ++plan.conflicted_count;
+    plan.flushes.push_back(std::move(flush));
+  }
+  return plan;
+}
+
+}  // namespace fbmb

@@ -1,0 +1,65 @@
+// Wash-pathway planning (after Hu et al., TCAD'16 — the paper's ref. [9]).
+//
+// The flow-layer router books a wash *window* before any task that crosses
+// foreign residue; physically, that wash is a buffer flush that must be
+// ROUTED: buffer enters through a wash inlet on the chip boundary, sweeps
+// the contaminated channel, and exits through a waste outlet. This module
+// plans those flush pathways on top of a routed result:
+//
+//   flush path = inlet -> (shortest clean approach) -> contaminated path
+//                -> (shortest exit) -> outlet
+//
+// and checks each flush's window against the main traffic's occupancy, so
+// wash feasibility — which the scheduler/router treat as a time cost —
+// is demonstrated as an actual flow. Flush legs that would collide with
+// fluid traffic are flagged rather than re-timed (re-timing is the
+// router's job; the planner quantifies how often the simple time-cost
+// model would need it).
+
+#pragma once
+
+#include <vector>
+
+#include "biochip/wash_model.hpp"
+#include "route/grid.hpp"
+#include "route/types.hpp"
+#include "schedule/types.hpp"
+
+namespace fbmb {
+
+struct WashPlanOptions {
+  /// Boundary cells for buffer entry / waste exit. Defaults (-1,-1) derive
+  /// the nearest free boundary corners automatically.
+  Point inlet{-1, -1};
+  Point outlet{-1, -1};
+};
+
+/// One planned buffer flush.
+struct WashPath {
+  int transport_id = -1;      ///< the task whose pre-wash this is
+  std::vector<Point> cells;   ///< inlet .. contaminated path .. outlet
+  double start = 0.0;         ///< flush window [start, end)
+  double end = 0.0;
+  bool feasible = false;      ///< a connected pathway exists
+  bool conflict_free = false; ///< window clear of fluid traffic on all cells
+};
+
+struct WashPlan {
+  std::vector<WashPath> flushes;   ///< one per wash-requiring task
+  Point inlet;
+  Point outlet;
+  int infeasible_count = 0;
+  int conflicted_count = 0;
+
+  double total_flush_length_mm(double cell_pitch_mm) const;
+};
+
+/// Plans flush pathways for every routed task with wash_duration > 0.
+/// `grid` must be a fresh grid over the same placement (the planner
+/// re-simulates occupancy like the validator does).
+WashPlan plan_wash_pathways(const RoutingGrid& grid,
+                            const RoutingResult& routing,
+                            const Schedule& schedule,
+                            const WashPlanOptions& options = {});
+
+}  // namespace fbmb

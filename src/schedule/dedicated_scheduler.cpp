@@ -1,0 +1,302 @@
+#include "schedule/dedicated_scheduler.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "graph/graph_algorithms.hpp"
+#include "schedule/list_scheduler.hpp"
+#include "util/interval_set.hpp"
+#include "util/logging.hpp"
+
+namespace fbmb {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// One fluid share parked in the storage unit.
+struct StoredShare {
+  double available = 0.0;  ///< entry transaction complete; retrievable after
+  double enter = 0.0;      ///< cell occupied from here ...
+  double leave = kInf;     ///< ... until the retrieval transaction ends
+};
+
+struct CompState {
+  double ready = 0.0;  ///< clean & free for the next operation
+};
+
+struct ReadyOrder {
+  bool operator()(const std::pair<double, int>& a,
+                  const std::pair<double, int>& b) const {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  }
+};
+
+class DedicatedScheduler {
+ public:
+  DedicatedScheduler(const SequencingGraph& graph,
+                     const Allocation& allocation,
+                     const WashModel& wash_model,
+                     const DedicatedStorageOptions& options)
+      : graph_(graph), alloc_(allocation), wash_(wash_model), opts_(options) {}
+
+  DedicatedScheduleResult run() {
+    check_feasibility();
+    const auto priorities =
+        longest_path_to_sink(graph_, opts_.transport_time);
+    result_.schedule.operations.resize(graph_.operation_count());
+    result_.schedule.transport_time = opts_.transport_time;
+    comp_states_.resize(alloc_.size());
+    // Keyed by (producer, consumer) edge.
+    std::vector<int> unscheduled_parents(graph_.operation_count(), 0);
+    std::set<std::pair<double, int>, ReadyOrder> ready;
+    for (const auto& op : graph_.operations()) {
+      unscheduled_parents[static_cast<std::size_t>(op.id.value)] =
+          static_cast<int>(graph_.parents(op.id).size());
+      if (graph_.parents(op.id).empty()) {
+        ready.insert({priorities[static_cast<std::size_t>(op.id.value)],
+                      op.id.value});
+      }
+    }
+    while (!ready.empty()) {
+      const OperationId oid{ready.begin()->second};
+      ready.erase(ready.begin());
+      schedule_operation(oid);
+      for (OperationId child : graph_.children(oid)) {
+        if (--unscheduled_parents[static_cast<std::size_t>(child.value)] ==
+            0) {
+          ready.insert({priorities[static_cast<std::size_t>(child.value)],
+                        child.value});
+        }
+      }
+    }
+    finalize();
+    return std::move(result_);
+  }
+
+ private:
+  void check_feasibility() {
+    if (auto err = graph_.validate()) {
+      throw SchedulingError("invalid sequencing graph: " + *err);
+    }
+    const auto histogram = operation_type_histogram(graph_);
+    for (ComponentType type : kAllComponentTypes) {
+      const auto idx = static_cast<std::size_t>(type);
+      if (histogram[idx] > 0 && !alloc_.has_type(type)) {
+        throw SchedulingError(
+            std::string("no qualified component allocated for type ") +
+            component_type_name(type));
+      }
+    }
+  }
+
+  /// Number of shares resident in the unit at time t.
+  int residents_at(double t) const {
+    int count = 0;
+    for (const auto& [key, share] : stored_) {
+      if (share.enter <= t && t < share.leave) ++count;
+    }
+    return count;
+  }
+
+  /// Earliest entry time >= `from` that respects capacity. When all cells
+  /// are pinned by fluids whose consumers are not yet scheduled, the model
+  /// proceeds anyway and logs (a real chip would deadlock here — exactly
+  /// the paper's limitation 1).
+  double capacity_fit(double from) {
+    if (opts_.capacity <= 0) return from;
+    double t = from;
+    for (int guard = 0; guard < 1000; ++guard) {
+      if (residents_at(t) < opts_.capacity) return t;
+      double next_leave = kInf;
+      for (const auto& [key, share] : stored_) {
+        if (share.enter <= t && t < share.leave && share.leave < next_leave) {
+          next_leave = share.leave;
+        }
+      }
+      if (next_leave == kInf) {
+        // Every resident's consumer is still unscheduled: a real chip
+        // would deadlock here (the paper's limitation 1). The model
+        // proceeds and the overflow shows up as peak_storage_usage >
+        // capacity in the results.
+        FBMB_DEBUG("dedicated storage overcommitted at t="
+                   << t << " (capacity " << opts_.capacity << ")");
+        return t;
+      }
+      t = next_leave;
+    }
+    return t;
+  }
+
+  void schedule_operation(OperationId oid) {
+    const Operation& op = graph_.operation(oid);
+    // Earliest-ready qualified component (BA's rule).
+    const auto candidates = alloc_.components_of_type(op.type);
+    ComponentId comp = candidates.front();
+    for (ComponentId c : candidates) {
+      if (comp_states_[static_cast<std::size_t>(c.value)].ready <
+          comp_states_[static_cast<std::size_t>(comp.value)].ready) {
+        comp = c;
+      }
+    }
+    CompState& cs = comp_states_[static_cast<std::size_t>(comp.value)];
+
+    // Inputs come from the storage unit; each retrieval needs a serialized
+    // port transaction followed by a t_c move. Iterate to a fixed point
+    // because later retrievals can push the start, which reopens slots.
+    double start = cs.ready;
+    const auto& parents = graph_.parents(oid);
+    std::map<int, double> retrieval;  // parent -> port slot start
+    for (int round = 0; round < 8; ++round) {
+      double new_start = cs.ready;
+      retrieval.clear();
+      IntervalSet trial_port = port_;  // tentative reservations this round
+      for (OperationId p : parents) {
+        const StoredShare& share = stored_.at({p.value, oid.value});
+        const double earliest =
+            std::max(share.available,
+                     start - opts_.transport_time -
+                         opts_.port_transaction_time);
+        const double slot =
+            trial_port.earliest_fit(earliest, opts_.port_transaction_time);
+        trial_port.insert_disjoint(
+            {slot, slot + opts_.port_transaction_time});
+        retrieval[p.value] = slot;
+        new_start = std::max(new_start, slot +
+                                            opts_.port_transaction_time +
+                                            opts_.transport_time);
+      }
+      if (new_start <= start + 1e-12) {
+        start = new_start;
+        break;
+      }
+      start = new_start;
+    }
+
+    // Commit retrievals.
+    for (OperationId p : parents) {
+      const double slot = retrieval.at(p.value);
+      const bool ok = port_.insert_disjoint(
+          {slot, slot + opts_.port_transaction_time});
+      assert(ok && "port double booking");
+      (void)ok;
+      result_.port_busy_time += opts_.port_transaction_time;
+      StoredShare& share = stored_.at({p.value, oid.value});
+      share.leave = slot + opts_.port_transaction_time;
+      if (share.leave - share.enter <= opts_.port_transaction_time + 1e-9) {
+        ++result_.direct_transfers;  // passed straight through the unit
+      }
+      TransportTask out;
+      out.id = static_cast<int>(result_.schedule.transports.size());
+      out.producer = p;
+      out.consumer = oid;
+      out.from = storage_unit_id(alloc_);
+      out.to = comp;
+      out.fluid = graph_.operation(p).output;
+      out.departure = share.leave;
+      out.transport_time = opts_.transport_time;
+      out.consume = start;
+      out.departure_deadline = out.departure;
+      result_.schedule.transports.push_back(out);
+    }
+
+    const double end = start + op.duration;
+    ScheduledOperation so;
+    so.op = oid;
+    so.component = comp;
+    so.start = start;
+    so.end = end;
+    result_.schedule.at(oid) = so;
+
+    // The output immediately heads for the storage unit (one entry per
+    // consumer share): departure waits for a port slot and a free cell;
+    // the component is blocked until the last share has left, then washed.
+    double vacate = end;
+    for (OperationId child : graph_.children(oid)) {
+      const double want_entry = end + opts_.transport_time;
+      const double cap_ok = capacity_fit(want_entry);
+      const double slot =
+          port_.earliest_fit(cap_ok, opts_.port_transaction_time);
+      const bool ok = port_.insert_disjoint(
+          {slot, slot + opts_.port_transaction_time});
+      assert(ok && "port double booking on entry");
+      (void)ok;
+      result_.port_busy_time += opts_.port_transaction_time;
+      const double departure = slot - opts_.transport_time;
+      result_.storage_wait_time += departure - end;
+      vacate = std::max(vacate, departure);
+      StoredShare share;
+      share.enter = slot;
+      share.available = slot + opts_.port_transaction_time;
+      stored_[{oid.value, child.value}] = share;
+      ++result_.storage_round_trips;
+
+      TransportTask in;
+      in.id = static_cast<int>(result_.schedule.transports.size());
+      in.producer = oid;
+      in.consumer = child;
+      in.from = comp;
+      in.to = storage_unit_id(alloc_);
+      in.fluid = op.output;
+      in.departure = departure;
+      in.transport_time = opts_.transport_time;
+      in.consume = share.available;
+      in.departure_deadline = departure;
+      result_.schedule.transports.push_back(in);
+    }
+
+    // The chamber is always contaminated after an operation (outputs of
+    // sink operations go to waste at `end`), so a wash always follows.
+    const double wash = wash_.wash_time(op.output);
+    result_.schedule.component_washes.push_back(
+        {comp, oid, op.output, vacate, vacate + wash});
+    cs.ready = vacate + wash;
+  }
+
+  void finalize() {
+    auto& schedule = result_.schedule;
+    schedule.completion_time = 0.0;
+    for (const auto& so : schedule.operations) {
+      schedule.completion_time = std::max(schedule.completion_time, so.end);
+    }
+    // Peak residency sweep; unconsumed shares stay until completion.
+    std::vector<std::pair<double, int>> events;
+    for (auto& [key, share] : stored_) {
+      const double leave =
+          share.leave == kInf ? schedule.completion_time : share.leave;
+      events.push_back({share.enter, +1});
+      events.push_back({leave, -1});
+    }
+    std::sort(events.begin(), events.end());
+    int current = 0;
+    for (const auto& [t, delta] : events) {
+      current += delta;
+      result_.peak_storage_usage =
+          std::max(result_.peak_storage_usage, current);
+    }
+  }
+
+  const SequencingGraph& graph_;
+  const Allocation& alloc_;
+  const WashModel& wash_;
+  DedicatedStorageOptions opts_;
+  DedicatedScheduleResult result_;
+  std::vector<CompState> comp_states_;
+  IntervalSet port_;
+  std::map<std::pair<int, int>, StoredShare> stored_;
+};
+
+}  // namespace
+
+DedicatedScheduleResult schedule_dedicated(
+    const SequencingGraph& graph, const Allocation& allocation,
+    const WashModel& wash_model, const DedicatedStorageOptions& options) {
+  return DedicatedScheduler(graph, allocation, wash_model, options).run();
+}
+
+}  // namespace fbmb

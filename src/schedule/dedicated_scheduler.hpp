@@ -1,0 +1,63 @@
+// Conventional dedicated-storage scheduling (the Fig. 1(a) architecture).
+//
+// The paper motivates DCSA by the three limitations of the classic design
+// (Section I): (1) constrained storage capacity, (2) limited access
+// bandwidth at the storage unit's multiplexed ports — only one fluid can
+// enter or leave at a time — and (3) the chip area the unit occupies.
+//
+// This module schedules a bioassay under that conventional model so the
+// motivation can be quantified (bench/motivation_dedicated_storage):
+//
+//  - Components cannot hold fluids after an operation ends and channels
+//    cannot cache: every intermediate result round-trips through the
+//    storage unit unless its consumer starts exactly when it arrives.
+//  - The storage unit has one multiplexed port, modeled as a serialized
+//    resource: each enter/leave transaction occupies the port for
+//    `port_transaction_time` seconds. A producer whose fluid cannot get a
+//    port slot stays blocked (its component is unavailable) until the
+//    fluid can leave — the bandwidth bottleneck in action.
+//  - Capacity is reported as peak concurrent residency; a finite
+//    `capacity` additionally delays entries that would overflow.
+//
+// The result reuses the Schedule type: storage round trips appear as two
+// transports via the pseudo component id `storage_unit_id(allocation)`.
+
+#pragma once
+
+#include "biochip/component_library.hpp"
+#include "biochip/wash_model.hpp"
+#include "graph/sequencing_graph.hpp"
+#include "schedule/types.hpp"
+
+namespace fbmb {
+
+struct DedicatedStorageOptions {
+  double transport_time = 2.0;        ///< t_c, as in the DCSA flow
+  double port_transaction_time = 1.0; ///< mux addressing + transfer serialization
+  int capacity = 8;                   ///< storage cells (<= 0: unbounded)
+  /// Storage unit footprint in grid cells, for chip-area accounting.
+  int unit_width = 6;
+  int unit_height = 6;
+};
+
+/// Pseudo ComponentId used by storage round-trip transports.
+inline ComponentId storage_unit_id(const Allocation& allocation) {
+  return ComponentId{static_cast<int>(allocation.size())};
+}
+
+struct DedicatedScheduleResult {
+  Schedule schedule;
+  int storage_round_trips = 0;   ///< fluids that went through the unit
+  int direct_transfers = 0;      ///< producer-to-consumer without storage
+  int peak_storage_usage = 0;    ///< max concurrent resident fluids
+  double port_busy_time = 0.0;   ///< total seconds the mux port is occupied
+  double storage_wait_time = 0.0;///< producer blocking waiting for the port
+};
+
+/// Schedules under the conventional dedicated-storage model (earliest-ready
+/// binding, like BA). Throws SchedulingError on infeasible input.
+DedicatedScheduleResult schedule_dedicated(
+    const SequencingGraph& graph, const Allocation& allocation,
+    const WashModel& wash_model, const DedicatedStorageOptions& options = {});
+
+}  // namespace fbmb

@@ -1,0 +1,103 @@
+// Resource binding & scheduling for DCSA biochips (paper Algorithm 1).
+//
+// An extended list scheduler: operations are processed in non-increasing
+// priority order (priority = longest path to the sink, edge cost t_c).
+// For each dequeued operation the binding strategy distinguishes:
+//
+//   Case I  — some same-type parent's output fluid is still resident in the
+//             component that produced it. Bind to the parent component whose
+//             fluid has the LOWEST diffusion coefficient: its transport is
+//             eliminated and the (longest) wash is avoided entirely.
+//   Case II — otherwise bind to the qualified component with the earliest
+//             ready time t_ready(c) = t_remove(prev) + wash(prev) (Eq. 2).
+//
+// The baseline policy (BA in Section V) uses the earliest-ready rule
+// unconditionally; it still benefits from in-place consumption when the
+// earliest-ready component happens to hold a parent fluid, but never prefers
+// wash savings over ready time, and its fluids leave components eagerly
+// (no storage refinement), yielding more channel-cache time.
+//
+// Channel-storage semantics. A produced fluid stays inside its component
+// until every consumer's share has departed. When a new operation is bound
+// to a component that still holds shares whose consumers are not yet
+// scheduled, those shares are *evicted* into flow-channel storage (this is
+// exactly the distributed channel storage of the paper). Evictions are
+// recorded eagerly at the producer's end time; the storage-refinement pass
+// (refine_storage option) then postpones each departure as late as legality
+// allows — min(departure deadline, consume - t_c) — shrinking channel-cache
+// time without moving any operation.
+
+#pragma once
+
+#include <stdexcept>
+
+#include "biochip/component_library.hpp"
+#include "biochip/wash_model.hpp"
+#include "graph/sequencing_graph.hpp"
+#include "schedule/types.hpp"
+
+namespace fbmb {
+
+/// Which binding strategy to apply.
+enum class BindingPolicy {
+  kDcsa,      ///< the paper's Case I / Case II strategy
+  kBaseline,  ///< BA: earliest-ready component, no wash-aware preference
+};
+
+struct SchedulerOptions {
+  double transport_time = 2.0;        ///< t_c
+  BindingPolicy policy = BindingPolicy::kDcsa;
+  /// Postpone fluid departures after scheduling to minimize channel-cache
+  /// time (ours: on, BA: off).
+  bool refine_storage = true;
+};
+
+/// Thrown when the allocation cannot execute the graph (e.g. an operation
+/// type with zero qualified components).
+class SchedulingError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Runs binding & scheduling. Throws SchedulingError on infeasible input;
+/// the graph must be valid (SequencingGraph::validate).
+Schedule schedule_bioassay(const SequencingGraph& graph,
+                           const Allocation& allocation,
+                           const WashModel& wash_model,
+                           const SchedulerOptions& options = {});
+
+/// One externally-chosen scheduling decision: dequeue `op` next and bind it
+/// to `component`. Used by the exact reference scheduler and by tests that
+/// exercise the timing engine with hand-picked bindings.
+struct ScheduleDecision {
+  OperationId op;
+  ComponentId component;
+};
+
+/// Replays an explicit decision sequence through the same timing engine as
+/// schedule_bioassay (channel-storage semantics, evictions, washes,
+/// in-place hand-offs are all derived automatically from the forced
+/// bindings). The sequence may be partial (a prefix); only decided
+/// operations appear with valid components in the result, and
+/// completion_time covers the decided prefix. Throws SchedulingError if a
+/// decision names an operation whose parents are not all decided yet, a
+/// non-qualified component, or a repeated operation.
+Schedule replay_schedule(const SequencingGraph& graph,
+                         const Allocation& allocation,
+                         const WashModel& wash_model,
+                         const SchedulerOptions& options,
+                         const std::vector<ScheduleDecision>& decisions);
+
+/// Postpones transport departures in-place as late as legality allows
+/// (departure <= min(deadline, consume - t_c)), reducing channel-cache time
+/// without changing operation times. Wash windows are re-aligned to start
+/// after the latest departure of the residue they remove. Idempotent.
+/// Exposed separately so the ablation benches can toggle it.
+void refine_channel_storage(Schedule& schedule);
+
+/// Shifts every component-wash window to start no earlier than the latest
+/// departure of the residue fluid it removes (keeping durations). Called
+/// by refine_channel_storage and by retiming after they move departures.
+void align_washes_to_departures(Schedule& schedule);
+
+}  // namespace fbmb

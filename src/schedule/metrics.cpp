@@ -1,0 +1,49 @@
+#include "schedule/metrics.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+namespace fbmb {
+
+double resource_utilization(const Schedule& schedule,
+                            const Allocation& allocation) {
+  if (allocation.empty()) return 0.0;
+  std::vector<double> busy(allocation.size(), 0.0);
+  std::vector<double> first(allocation.size(),
+                            std::numeric_limits<double>::infinity());
+  std::vector<double> last(allocation.size(),
+                           -std::numeric_limits<double>::infinity());
+  for (const auto& so : schedule.operations) {
+    const auto i = static_cast<std::size_t>(so.component.value);
+    busy[i] += so.duration();
+    first[i] = std::min(first[i], so.start);
+    last[i] = std::max(last[i], so.end);
+  }
+  double sum = 0.0;
+  for (std::size_t i = 0; i < allocation.size(); ++i) {
+    if (busy[i] <= 0.0) continue;  // idle component contributes 0
+    const double span = last[i] - first[i];
+    sum += span > 0.0 ? busy[i] / span : 1.0;
+  }
+  return sum / static_cast<double>(allocation.size());
+}
+
+ScheduleStats compute_schedule_stats(const Schedule& schedule,
+                                     const Allocation& allocation) {
+  ScheduleStats stats;
+  stats.completion_time = schedule.completion_time;
+  stats.utilization = resource_utilization(schedule, allocation);
+  stats.total_cache_time = schedule.total_cache_time();
+  stats.component_wash_time = schedule.total_component_wash_time();
+  stats.transport_count = static_cast<int>(schedule.transports.size());
+  for (const auto& t : schedule.transports) {
+    if (t.evicted) ++stats.eviction_count;
+  }
+  for (const auto& so : schedule.operations) {
+    if (so.consumed_in_place()) ++stats.in_place_count;
+  }
+  return stats;
+}
+
+}  // namespace fbmb

@@ -1,0 +1,129 @@
+#include "schedule/optimal_scheduler.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "graph/graph_algorithms.hpp"
+
+namespace fbmb {
+
+namespace {
+
+class Search {
+ public:
+  Search(const SequencingGraph& graph, const Allocation& allocation,
+         const WashModel& wash_model, const SchedulerOptions& options,
+         long node_limit)
+      : graph_(graph),
+        alloc_(allocation),
+        wash_(wash_model),
+        opts_(options),
+        node_limit_(node_limit),
+        remaining_path_(longest_path_to_sink(graph, options.transport_time)) {
+  }
+
+  OptimalSchedulerResult run() {
+    // Seed the incumbent with the heuristic so pruning bites immediately.
+    OptimalSchedulerResult result;
+    result.schedule = schedule_bioassay(graph_, alloc_, wash_, opts_);
+    best_completion_ = result.schedule.completion_time;
+
+    std::vector<int> pending_parents(graph_.operation_count(), 0);
+    for (const auto& op : graph_.operations()) {
+      pending_parents[static_cast<std::size_t>(op.id.value)] =
+          static_cast<int>(graph_.parents(op.id).size());
+    }
+    std::vector<ScheduleDecision> prefix;
+    prefix.reserve(graph_.operation_count());
+    dfs(prefix, pending_parents);
+
+    result.nodes_explored = nodes_;
+    result.exhaustive = nodes_ < node_limit_;
+    if (!best_decisions_.empty()) {
+      result.decisions = best_decisions_;
+      result.schedule =
+          replay_schedule(graph_, alloc_, wash_, opts_, best_decisions_);
+    }
+    return result;
+  }
+
+ private:
+  void dfs(std::vector<ScheduleDecision>& prefix,
+           std::vector<int>& pending_parents) {
+    if (nodes_ >= node_limit_) return;
+    if (prefix.size() == graph_.operation_count()) {
+      const Schedule schedule =
+          replay_schedule(graph_, alloc_, wash_, opts_, prefix);
+      if (schedule.completion_time < best_completion_ - 1e-9) {
+        best_completion_ = schedule.completion_time;
+        best_decisions_ = prefix;
+      }
+      return;
+    }
+    for (const auto& op : graph_.operations()) {
+      if (pending_parents[static_cast<std::size_t>(op.id.value)] != 0) {
+        continue;
+      }
+      // Already decided?
+      bool decided = false;
+      for (const auto& d : prefix) {
+        if (d.op == op.id) {
+          decided = true;
+          break;
+        }
+      }
+      if (decided) continue;
+
+      for (ComponentId comp : alloc_.components_of_type(op.type)) {
+        ++nodes_;
+        if (nodes_ >= node_limit_) return;
+        prefix.push_back({op.id, comp});
+        // Lower bound: the decided prefix's timing is fixed; each decided
+        // op must still be followed by its remaining longest path.
+        const Schedule partial =
+            replay_schedule(graph_, alloc_, wash_, opts_, prefix);
+        double bound = 0.0;
+        for (const auto& d : prefix) {
+          const auto& so = partial.at(d.op);
+          bound = std::max(
+              bound,
+              so.end + remaining_path_[static_cast<std::size_t>(
+                           d.op.value)] -
+                  graph_.operation(d.op).duration);
+        }
+        if (bound < best_completion_ - 1e-9) {
+          for (OperationId child : graph_.children(op.id)) {
+            --pending_parents[static_cast<std::size_t>(child.value)];
+          }
+          dfs(prefix, pending_parents);
+          for (OperationId child : graph_.children(op.id)) {
+            ++pending_parents[static_cast<std::size_t>(child.value)];
+          }
+        }
+        prefix.pop_back();
+      }
+    }
+  }
+
+  const SequencingGraph& graph_;
+  const Allocation& alloc_;
+  const WashModel& wash_;
+  SchedulerOptions opts_;
+  long node_limit_;
+  std::vector<double> remaining_path_;
+  double best_completion_ = std::numeric_limits<double>::infinity();
+  std::vector<ScheduleDecision> best_decisions_;
+  long nodes_ = 0;
+};
+
+}  // namespace
+
+OptimalSchedulerResult schedule_optimal(const SequencingGraph& graph,
+                                        const Allocation& allocation,
+                                        const WashModel& wash_model,
+                                        const SchedulerOptions& options,
+                                        long node_limit) {
+  return Search(graph, allocation, wash_model, options, node_limit).run();
+}
+
+}  // namespace fbmb

@@ -1,0 +1,42 @@
+// Exact reference scheduler for small instances.
+//
+// The heuristic list scheduler (Algorithm 1) is greedy; related work like
+// Grimmer et al. (ASP-DAC'17, the paper's ref. [7]) computes close-to-
+// optimal solutions with SAT on small inputs. This module plays that role
+// for the scheduling stage: a branch-and-bound search over every valid
+// (dequeue order, binding) decision sequence, evaluated through the exact
+// same timing engine as schedule_bioassay (replay_schedule), so the two
+// are directly comparable. Used by the optimality-gap tests and
+// bench/extension_optimality_gap.
+//
+// Complexity is factorial; keep instances at <= ~8 operations and <= ~3
+// qualified components per type, or set a node budget (the search then
+// returns the best schedule found and marks the result non-exhaustive).
+
+#pragma once
+
+#include "biochip/component_library.hpp"
+#include "biochip/wash_model.hpp"
+#include "graph/sequencing_graph.hpp"
+#include "schedule/list_scheduler.hpp"
+#include "schedule/types.hpp"
+
+namespace fbmb {
+
+struct OptimalSchedulerResult {
+  Schedule schedule;                        ///< best completion time found
+  std::vector<ScheduleDecision> decisions;  ///< the winning sequence
+  long nodes_explored = 0;
+  bool exhaustive = false;  ///< search completed within the node budget
+};
+
+/// Minimizes completion time by exhaustive decision search with
+/// lower-bound pruning (prefix completion + longest remaining path to the
+/// sink). `node_limit` caps the number of explored decision nodes.
+OptimalSchedulerResult schedule_optimal(const SequencingGraph& graph,
+                                        const Allocation& allocation,
+                                        const WashModel& wash_model,
+                                        const SchedulerOptions& options = {},
+                                        long node_limit = 2000000);
+
+}  // namespace fbmb

@@ -1,0 +1,184 @@
+#include "schedule/retiming.hpp"
+
+#include "schedule/list_scheduler.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <vector>
+
+namespace fbmb {
+
+void apply_transport_delays(Schedule& schedule, const SequencingGraph& graph,
+                            const std::vector<double>& extra_delay) {
+  (void)graph;  // reserved for stricter dependency-aware retiming
+  assert(extra_delay.size() == schedule.transports.size());
+
+  const auto original_ops = schedule.operations;  // pre-shift times
+
+  // Minimum departures after routing postponement.
+  std::vector<double> min_departure(schedule.transports.size());
+  for (std::size_t i = 0; i < schedule.transports.size(); ++i) {
+    assert(extra_delay[i] >= 0.0);
+    min_departure[i] = schedule.transports[i].departure + extra_delay[i];
+  }
+
+  // Per-component operation order (by original start time) and the original
+  // gap before each operation, which embeds its wash window.
+  struct CompSlot {
+    OperationId op;
+    double gap_before;  // original start - previous original end (or start)
+  };
+  std::map<int, std::vector<CompSlot>> comp_order;
+  {
+    std::map<int, std::vector<OperationId>> by_comp;
+    for (const auto& so : original_ops) {
+      by_comp[so.component.value].push_back(so.op);
+    }
+    for (auto& [comp, ops] : by_comp) {
+      std::sort(ops.begin(), ops.end(), [&](OperationId a, OperationId b) {
+        const auto& sa = schedule.at(a);
+        const auto& sb = schedule.at(b);
+        return sa.start != sb.start ? sa.start < sb.start
+                                    : a.value < b.value;
+      });
+      auto& slots = comp_order[comp];
+      for (std::size_t i = 0; i < ops.size(); ++i) {
+        const double gap =
+            i == 0 ? schedule.at(ops[i]).start
+                   : schedule.at(ops[i]).start - schedule.at(ops[i - 1]).end;
+        slots.push_back({ops[i], gap});
+      }
+    }
+  }
+
+  // Transports indexed by consumer for the dependency sweep, and by
+  // producer for the chamber-vacate sweep (a share departing later keeps
+  // the producer's chamber dirty longer, pushing the next operation on that
+  // component past its wash window).
+  std::map<int, std::vector<std::size_t>> transports_into;
+  std::map<int, std::vector<std::size_t>> transports_out_of;
+  for (std::size_t i = 0; i < schedule.transports.size(); ++i) {
+    transports_into[schedule.transports[i].consumer.value].push_back(i);
+    transports_out_of[schedule.transports[i].producer.value].push_back(i);
+  }
+
+  // Events ordered by original start time form a DAG of "not earlier than"
+  // constraints, so sweeping in that order converges; we iterate to a fixed
+  // point anyway as a belt-and-braces measure.
+  std::vector<OperationId> time_order;
+  for (const auto& so : original_ops) time_order.push_back(so.op);
+  std::sort(time_order.begin(), time_order.end(),
+            [&](OperationId a, OperationId b) {
+              const auto& sa = original_ops[static_cast<std::size_t>(a.value)];
+              const auto& sb = original_ops[static_cast<std::size_t>(b.value)];
+              return sa.start != sb.start ? sa.start < sb.start
+                                          : a.value < b.value;
+            });
+
+  // Previous-on-component lookup.
+  std::map<int, OperationId> prev_on_comp;
+  std::map<int, double> gap_of;
+  for (const auto& [comp, slots] : comp_order) {
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      gap_of[slots[i].op.value] = slots[i].gap_before;
+      prev_on_comp[slots[i].op.value] =
+          i == 0 ? kNoOperation : slots[i - 1].op;
+    }
+  }
+
+  bool changed = true;
+  int guard = 0;
+  while (changed && guard++ < 64) {
+    changed = false;
+    for (OperationId oid : time_order) {
+      auto& so = schedule.at(oid);
+      double start = so.start;
+      // Component predecessor with original gap (covers wash window).
+      const OperationId prev = prev_on_comp[oid.value];
+      if (prev.valid()) {
+        start = std::max(start, schedule.at(prev).end + gap_of[oid.value]);
+        // The predecessor's residue must also have departed (plus its wash)
+        // before this operation starts; preserve the original
+        // departure-to-start margin for every share leaving this component.
+        if (auto oit = transports_out_of.find(prev.value);
+            oit != transports_out_of.end()) {
+          const auto& orig_me =
+              original_ops[static_cast<std::size_t>(oid.value)];
+          for (std::size_t ti : oit->second) {
+            // Transport times are committed only after this loop, so
+            // t.departure still holds the original departure here.
+            const auto& t = schedule.transports[ti];
+            if (t.from != so.component) continue;
+            const double dep =
+                std::max(min_departure[ti], schedule.at(t.producer).end);
+            const double margin = std::max(0.0, orig_me.start - t.departure);
+            start = std::max(start, dep + margin);
+          }
+        }
+      }
+      // In-place parent.
+      if (so.consumed_in_place()) {
+        start = std::max(start, schedule.at(so.in_place_parent).end);
+      }
+      // Incoming transports.
+      if (auto it = transports_into.find(oid.value);
+          it != transports_into.end()) {
+        for (std::size_t ti : it->second) {
+          auto& t = schedule.transports[ti];
+          const double dep =
+              std::max(min_departure[ti], schedule.at(t.producer).end);
+          start = std::max(start, dep + t.transport_time);
+        }
+      }
+      if (start > so.start + 1e-12) {
+        const double duration = so.end - so.start;
+        so.start = start;
+        so.end = start + duration;
+        changed = true;
+      }
+    }
+  }
+  assert(guard < 64 && "retiming failed to converge");
+
+  // Commit transport times: departure as late as allowed (consume - t_c),
+  // but never before the routing-imposed minimum or the producer's end.
+  for (std::size_t i = 0; i < schedule.transports.size(); ++i) {
+    auto& t = schedule.transports[i];
+    t.consume = schedule.at(t.consumer).start;
+    const double dep =
+        std::max(min_departure[i], schedule.at(t.producer).end);
+    t.departure = std::max(dep, t.departure);
+    // Keep arrival <= consume.
+    if (t.arrival() > t.consume) {
+      t.departure = t.consume - t.transport_time;
+    }
+    assert(t.departure + 1e-9 >= schedule.at(t.producer).end);
+  }
+
+  // Shift each wash event with the operation that follows it on the
+  // component (keeping its duration).
+  for (auto& w : schedule.component_washes) {
+    const auto& slots = comp_order[w.component.value];
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      const auto& orig =
+          original_ops[static_cast<std::size_t>(slots[i].op.value)];
+      if (orig.start + 1e-9 >= w.end) {
+        const double shift =
+            schedule.at(slots[i].op).start - orig.start;
+        w.start += shift;
+        w.end += shift;
+        break;
+      }
+    }
+  }
+
+  align_washes_to_departures(schedule);
+
+  schedule.completion_time = 0.0;
+  for (const auto& so : schedule.operations) {
+    schedule.completion_time = std::max(schedule.completion_time, so.end);
+  }
+}
+
+}  // namespace fbmb

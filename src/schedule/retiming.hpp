@@ -1,0 +1,32 @@
+// Post-routing schedule retiming.
+//
+// The baseline router resolves channel conflicts by postponing transport
+// tasks (Section II-C2: a task sharing a contaminated or busy segment "has
+// to be postponed"). A postponed transport delays its consumer operation,
+// which in turn delays everything downstream — later operations on the same
+// component (their wash windows shift too) and all transports they feed.
+// apply_transport_delays propagates such delays through the schedule
+// monotonically (no operation ever moves earlier) until a fixed point.
+
+#pragma once
+
+#include <vector>
+
+#include "graph/sequencing_graph.hpp"
+#include "schedule/types.hpp"
+
+namespace fbmb {
+
+/// Applies `extra_delay[i]` seconds of postponement to transport i's
+/// departure, then restores feasibility by shifting operations later while
+/// preserving: dependency order, arrival <= consume, per-component
+/// operation order with the original inter-operation gaps (which contain the
+/// wash windows), and departure >= producer end. Wash events are shifted
+/// with the operation that follows them. Updates completion_time.
+///
+/// Preconditions: extra_delay.size() == schedule.transports.size(), all
+/// entries >= 0, schedule valid for `graph`.
+void apply_transport_delays(Schedule& schedule, const SequencingGraph& graph,
+                            const std::vector<double>& extra_delay);
+
+}  // namespace fbmb

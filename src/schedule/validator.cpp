@@ -1,0 +1,161 @@
+#include "schedule/validator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+namespace fbmb {
+
+namespace {
+
+constexpr double kEps = 1e-6;
+
+std::string op_name(const SequencingGraph& graph, OperationId id) {
+  return graph.operation(id).name;
+}
+
+}  // namespace
+
+std::vector<std::string> validate_schedule(const Schedule& schedule,
+                                           const SequencingGraph& graph,
+                                           const Allocation& allocation,
+                                           const WashModel& wash_model) {
+  std::vector<std::string> errors;
+  auto fail = [&errors](const std::string& msg) { errors.push_back(msg); };
+
+  if (schedule.operations.size() != graph.operation_count()) {
+    fail("schedule covers " + std::to_string(schedule.operations.size()) +
+         " operations, graph has " +
+         std::to_string(graph.operation_count()));
+    return errors;
+  }
+
+  // --- Per-operation basics ------------------------------------------------
+  for (const auto& so : schedule.operations) {
+    const Operation& op = graph.operation(so.op);
+    if (!so.component.valid() ||
+        static_cast<std::size_t>(so.component.value) >= allocation.size()) {
+      fail(op.name + ": invalid component binding");
+      continue;
+    }
+    if (allocation.component(so.component).type != op.type) {
+      fail(op.name + ": bound to non-qualified component " +
+           allocation.component(so.component).name);
+    }
+    if (so.start < -kEps) fail(op.name + ": negative start time");
+    if (std::abs(so.end - so.start - op.duration) > kEps) {
+      fail(op.name + ": end != start + duration");
+    }
+    if (so.consumed_in_place()) {
+      const auto& parents = graph.parents(so.op);
+      if (std::find(parents.begin(), parents.end(), so.in_place_parent) ==
+          parents.end()) {
+        fail(op.name + ": in-place parent is not a parent");
+      } else if (schedule.at(so.in_place_parent).component != so.component) {
+        fail(op.name + ": in-place parent on different component");
+      }
+    }
+  }
+  if (!errors.empty()) return errors;  // later checks assume basics hold
+
+  // --- Dependencies --------------------------------------------------------
+  std::map<std::pair<int, int>, const TransportTask*> transport_by_edge;
+  for (const auto& t : schedule.transports) {
+    transport_by_edge[{t.producer.value, t.consumer.value}] = &t;
+  }
+  for (const auto& dep : graph.dependencies()) {
+    const auto& parent = schedule.at(dep.from);
+    const auto& child = schedule.at(dep.to);
+    const bool in_place = child.in_place_parent == dep.from;
+    if (in_place) {
+      if (child.start < parent.end - kEps) {
+        fail(op_name(graph, dep.to) + ": starts before in-place parent " +
+             op_name(graph, dep.from) + " ends");
+      }
+      continue;
+    }
+    const auto it = transport_by_edge.find({dep.from.value, dep.to.value});
+    if (it == transport_by_edge.end()) {
+      fail("missing transport for edge " + op_name(graph, dep.from) + "->" +
+           op_name(graph, dep.to));
+      continue;
+    }
+    const TransportTask& t = *it->second;
+    if (t.departure < parent.end - kEps) {
+      fail("transport " + op_name(graph, dep.from) + "->" +
+           op_name(graph, dep.to) + " departs before producer ends");
+    }
+    if (t.arrival() > t.consume + kEps) {
+      fail("transport " + op_name(graph, dep.from) + "->" +
+           op_name(graph, dep.to) + " arrives after consume time");
+    }
+    if (std::abs(t.consume - child.start) > kEps) {
+      fail("transport " + op_name(graph, dep.from) + "->" +
+           op_name(graph, dep.to) + " consume != consumer start");
+    }
+    if (t.from != parent.component || t.to != child.component) {
+      fail("transport " + op_name(graph, dep.from) + "->" +
+           op_name(graph, dep.to) + " endpoints mismatch bindings");
+    }
+  }
+
+  // --- Per-component exclusivity + wash gaps -------------------------------
+  for (const auto& comp : allocation.components()) {
+    auto ops = schedule.operations_on(comp.id);
+    for (std::size_t i = 1; i < ops.size(); ++i) {
+      const auto& prev = ops[i - 1];
+      const auto& cur = ops[i];
+      if (cur.start < prev.end - kEps) {
+        fail(comp.name + ": operations " + op_name(graph, prev.op) +
+             " and " + op_name(graph, cur.op) + " overlap");
+        continue;
+      }
+      const bool hand_off = cur.in_place_parent == prev.op;
+      if (hand_off) continue;  // residue is an input: no wash required
+      // Residue of prev must be fully gone (latest share departure), then
+      // washed, before cur starts.
+      double vacate = prev.end;
+      for (const auto& t : schedule.transports) {
+        if (t.producer == prev.op && t.from == comp.id) {
+          vacate = std::max(vacate, t.departure);
+        }
+      }
+      const double wash = wash_model.wash_time(graph.operation(prev.op).output);
+      if (cur.start < vacate + wash - kEps) {
+        std::ostringstream os;
+        os << comp.name << ": " << op_name(graph, cur.op) << " starts at "
+           << cur.start << " inside wash window of "
+           << op_name(graph, prev.op) << " (vacate " << vacate << " + wash "
+           << wash << ")";
+        fail(os.str());
+      }
+    }
+  }
+
+  // --- Wash events ----------------------------------------------------------
+  for (const auto& w : schedule.component_washes) {
+    if (w.duration() < -kEps) fail("negative wash duration");
+    const auto ops = schedule.operations_on(w.component);
+    // The wash must end before the first operation starting after it.
+    for (const auto& so : ops) {
+      if (so.start + kEps >= w.end) continue;
+      if (so.end > w.start + kEps) {
+        fail(allocation.component(w.component).name +
+             ": wash overlaps operation " + op_name(graph, so.op));
+        break;
+      }
+    }
+  }
+
+  // --- Completion time -------------------------------------------------------
+  double max_end = 0.0;
+  for (const auto& so : schedule.operations) max_end = std::max(max_end, so.end);
+  if (std::abs(max_end - schedule.completion_time) > kEps) {
+    fail("completion_time != max operation end");
+  }
+
+  return errors;
+}
+
+}  // namespace fbmb

@@ -1,0 +1,38 @@
+// Schedule invariant checking.
+//
+// The validator re-derives, from first principles, every constraint a legal
+// DCSA schedule must satisfy (Section II-C / IV-A) and reports violations as
+// strings. Tests run it on every schedule the library produces; it is also
+// useful as a debugging aid for downstream users writing their own
+// schedulers against the same Schedule type.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "biochip/component_library.hpp"
+#include "biochip/wash_model.hpp"
+#include "graph/sequencing_graph.hpp"
+#include "schedule/types.hpp"
+
+namespace fbmb {
+
+/// Returns a list of violated invariants (empty = valid):
+///  - every operation bound to a type-qualified component with end = start
+///    + duration and start >= 0;
+///  - every dependency satisfied either in place (same component, child
+///    starts after parent ends) or by a transport task whose departure is
+///    not before the producer ends, whose arrival is not after the consume
+///    time, and whose consume equals the consumer's start;
+///  - no two operations overlap on a component;
+///  - wash gap (Eq. 2): between two consecutive occupancies of a component
+///    that are not an in-place hand-off, the gap covers the residue's
+///    departure plus its wash time;
+///  - component wash events end before the component's next operation.
+std::vector<std::string> validate_schedule(const Schedule& schedule,
+                                           const SequencingGraph& graph,
+                                           const Allocation& allocation,
+                                           const WashModel& wash_model);
+
+}  // namespace fbmb

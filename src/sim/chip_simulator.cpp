@@ -1,0 +1,269 @@
+#include "sim/chip_simulator.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <unordered_map>
+
+namespace fbmb {
+
+namespace {
+
+/// Same-time precedence: enablers first (ends, arrivals, consumption),
+/// then starts, then departures and washes.
+enum class Kind : int {
+  kOpEnd = 0,
+  kFlushEnd = 1,
+  kWashEnd = 2,
+  kPlugArrive = 3,
+  kPlugConsume = 4,
+  kOpStart = 5,
+  kPlugDepart = 6,
+  kFlushStart = 7,
+  kWashStart = 8,
+};
+
+struct Event {
+  double time;
+  Kind kind;
+  int index;  ///< op id / transport id / wash index, per kind
+
+  bool operator<(const Event& o) const {
+    if (time != o.time) return time < o.time;
+    if (kind != o.kind) return static_cast<int>(kind) < static_cast<int>(o.kind);
+    return index < o.index;
+  }
+};
+
+enum class ChamberState { kClean, kHolding, kExecuting, kWashing };
+
+struct Chamber {
+  ChamberState state = ChamberState::kClean;
+  OperationId holder = kNoOperation;  ///< producer of the held residue
+  int pending_departures = 0;         ///< shares yet to leave this chamber
+};
+
+enum class PlugState { kAtSource, kMoving, kParked, kConsumed };
+
+struct Plug {
+  PlugState state = PlugState::kAtSource;
+  const RoutedPath* path = nullptr;
+};
+
+}  // namespace
+
+SimResult simulate_chip(const SequencingGraph& graph,
+                        const Allocation& allocation,
+                        const WashModel& wash_model,
+                        const SynthesisResult& result) {
+  (void)wash_model;
+  SimResult sim;
+  const Schedule& schedule = result.schedule;
+
+  auto fail = [&](double t, const std::string& msg) {
+    std::ostringstream os;
+    os << "t=" << t << ": " << msg;
+    sim.violations.push_back(os.str());
+  };
+  auto log = [&](double t, const std::string& msg) {
+    sim.trace.push_back({t, msg});
+  };
+  auto op_name = [&](OperationId id) { return graph.operation(id).name; };
+
+  // --- Build the event list -------------------------------------------------
+  std::vector<Event> events;
+  for (const auto& so : schedule.operations) {
+    if (!so.op.valid()) continue;
+    events.push_back({so.start, Kind::kOpStart, so.op.value});
+    events.push_back({so.end, Kind::kOpEnd, so.op.value});
+  }
+  for (const auto& path : result.routing.paths) {
+    const auto& t =
+        schedule.transports[static_cast<std::size_t>(path.transport_id)];
+    events.push_back({path.start, Kind::kPlugDepart, path.transport_id});
+    events.push_back(
+        {path.transport_end, Kind::kPlugArrive, path.transport_id});
+    events.push_back({t.consume, Kind::kPlugConsume, path.transport_id});
+    if (path.wash_duration > 0.0) {
+      events.push_back({path.start - path.wash_duration, Kind::kFlushStart,
+                        path.transport_id});
+      events.push_back({path.start, Kind::kFlushEnd, path.transport_id});
+    }
+  }
+  for (std::size_t w = 0; w < schedule.component_washes.size(); ++w) {
+    const auto& wash = schedule.component_washes[w];
+    events.push_back({wash.start, Kind::kWashStart, static_cast<int>(w)});
+    events.push_back({wash.end, Kind::kWashEnd, static_cast<int>(w)});
+  }
+  std::sort(events.begin(), events.end());
+
+  // --- State -----------------------------------------------------------------
+  std::vector<Chamber> chambers(allocation.size());
+  std::unordered_map<int, Plug> plugs;
+  for (const auto& path : result.routing.paths) {
+    plugs[path.transport_id] = {PlugState::kAtSource, &path};
+  }
+  std::unordered_map<Point, int> cell_owner;  ///< cell -> transport id
+  std::map<std::pair<int, int>, bool> delivered;  ///< (producer, consumer)
+
+  auto claim_cells = [&](const RoutedPath& path, int id, double t) {
+    for (const Point& cell : path.cells) {
+      auto it = cell_owner.find(cell);
+      if (it != cell_owner.end() && it->second != id) {
+        fail(t, "cell " + to_string(cell) + " already owned by plug " +
+                    std::to_string(it->second) + ", wanted by " +
+                    std::to_string(id));
+      } else {
+        cell_owner[cell] = id;
+      }
+    }
+  };
+  auto release_cells = [&](const RoutedPath& path, int id, bool keep_tail) {
+    for (std::size_t i = 0; i < path.cells.size(); ++i) {
+      if (keep_tail && i + 1 == path.cells.size()) continue;
+      auto it = cell_owner.find(path.cells[i]);
+      if (it != cell_owner.end() && it->second == id) cell_owner.erase(it);
+    }
+  };
+
+  // --- Execute ----------------------------------------------------------------
+  for (const Event& ev : events) {
+    switch (ev.kind) {
+      case Kind::kOpStart: {
+        const OperationId oid{ev.index};
+        const auto& so = schedule.at(oid);
+        Chamber& chamber =
+            chambers[static_cast<std::size_t>(so.component.value)];
+        // Chamber readiness.
+        if (so.consumed_in_place()) {
+          if (chamber.state != ChamberState::kHolding ||
+              chamber.holder != so.in_place_parent) {
+            fail(ev.time, "in-place start of " + op_name(oid) +
+                              " but chamber does not hold " +
+                              op_name(so.in_place_parent));
+          }
+        } else if (chamber.state != ChamberState::kClean) {
+          fail(ev.time, op_name(oid) + " starts on a non-clean chamber of " +
+                            allocation.component(so.component).name);
+        }
+        // Inputs present.
+        for (OperationId parent : graph.parents(oid)) {
+          if (parent == so.in_place_parent) continue;
+          if (!delivered[{parent.value, oid.value}]) {
+            fail(ev.time, op_name(oid) + " starts without input from " +
+                              op_name(parent));
+          }
+        }
+        chamber.state = ChamberState::kExecuting;
+        chamber.holder = kNoOperation;
+        log(ev.time, "start " + op_name(oid));
+        break;
+      }
+      case Kind::kOpEnd: {
+        const OperationId oid{ev.index};
+        const auto& so = schedule.at(oid);
+        Chamber& chamber =
+            chambers[static_cast<std::size_t>(so.component.value)];
+        chamber.state = ChamberState::kHolding;
+        chamber.holder = oid;
+        chamber.pending_departures = 0;
+        for (const auto& t : schedule.transports) {
+          if (t.producer == oid && t.from == so.component) {
+            ++chamber.pending_departures;
+          }
+        }
+        sim.stats.component_busy_time += so.duration();
+        ++sim.stats.operations_executed;
+        sim.stats.completion_time =
+            std::max(sim.stats.completion_time, ev.time);
+        log(ev.time, "end " + op_name(oid));
+        break;
+      }
+      case Kind::kPlugDepart: {
+        Plug& plug = plugs[ev.index];
+        const auto& t =
+            schedule.transports[static_cast<std::size_t>(ev.index)];
+        if (ev.time + 1e-9 < schedule.at(t.producer).end) {
+          fail(ev.time, "plug " + std::to_string(ev.index) +
+                            " departs before producer " +
+                            op_name(t.producer) + " ends");
+        }
+        claim_cells(*plug.path, ev.index, ev.time);
+        plug.state = PlugState::kMoving;
+        Chamber& chamber =
+            chambers[static_cast<std::size_t>(t.from.value)];
+        if (chamber.holder == t.producer) --chamber.pending_departures;
+        ++sim.stats.plugs_moved;
+        break;
+      }
+      case Kind::kPlugArrive: {
+        Plug& plug = plugs[ev.index];
+        if (plug.state != PlugState::kMoving) {
+          fail(ev.time, "plug " + std::to_string(ev.index) +
+                            " arrives without departing");
+        }
+        release_cells(*plug.path, ev.index, /*keep_tail=*/true);
+        plug.state = PlugState::kParked;
+        break;
+      }
+      case Kind::kPlugConsume: {
+        Plug& plug = plugs[ev.index];
+        const auto& t =
+            schedule.transports[static_cast<std::size_t>(ev.index)];
+        if (plug.state != PlugState::kParked) {
+          fail(ev.time, "plug " + std::to_string(ev.index) +
+                            " consumed before arriving");
+        }
+        release_cells(*plug.path, ev.index, /*keep_tail=*/false);
+        plug.state = PlugState::kConsumed;
+        delivered[{t.producer.value, t.consumer.value}] = true;
+        sim.stats.channel_cache_time +=
+            std::max(0.0, ev.time - plug.path->transport_end);
+        break;
+      }
+      case Kind::kFlushStart:
+        // Wash-lead cell occupancy is booked per cell (each cell only from
+        // start - wash_needed(cell)); per-cell exclusivity over those lead
+        // windows is the route validator's job, so the simulator treats
+        // the flush as a pure time cost and only logs it.
+        log(ev.time, "flush for plug " + std::to_string(ev.index));
+        break;
+      case Kind::kFlushEnd:
+        break;
+      case Kind::kWashStart: {
+        const auto& wash =
+            schedule.component_washes[static_cast<std::size_t>(ev.index)];
+        Chamber& chamber =
+            chambers[static_cast<std::size_t>(wash.component.value)];
+        if (chamber.state == ChamberState::kExecuting) {
+          fail(ev.time, "wash starts while " +
+                            allocation.component(wash.component).name +
+                            " is executing");
+        }
+        if (chamber.state == ChamberState::kHolding &&
+            chamber.pending_departures > 0) {
+          fail(ev.time, "wash starts while residue shares still inside " +
+                            allocation.component(wash.component).name);
+        }
+        chamber.state = ChamberState::kWashing;
+        chamber.holder = kNoOperation;
+        break;
+      }
+      case Kind::kWashEnd: {
+        const auto& wash =
+            schedule.component_washes[static_cast<std::size_t>(ev.index)];
+        Chamber& chamber =
+            chambers[static_cast<std::size_t>(wash.component.value)];
+        chamber.state = ChamberState::kClean;
+        sim.stats.component_wash_time += wash.duration();
+        ++sim.stats.washes_performed;
+        break;
+      }
+    }
+  }
+
+  sim.ok = sim.violations.empty();
+  return sim;
+}
+
+}  // namespace fbmb

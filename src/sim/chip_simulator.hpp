@@ -1,0 +1,66 @@
+// Discrete-event chip simulator.
+//
+// Executes a complete synthesis result (schedule + placement + routing) as
+// a continuous-time event simulation over explicit chip state — component
+// chambers and channel cells — independently of how the flow computed its
+// times. Where the schedule/routing validators check pairwise constraints,
+// the simulator enforces *operational* semantics with a state machine:
+//
+//   - a chamber executes one operation at a time and is dirty from an
+//     operation's start until its residue departs and a wash completes;
+//   - an operation can only start once every input is present (resident in
+//     the chamber for in-place hand-offs, or parked as a plug on a cell
+//     adjacent to the component for transported inputs);
+//   - a fluid plug occupies its path's cells during movement and its tail
+//     cell while cached; two plugs never share a cell;
+//   - washes run on idle chambers only.
+//
+// Besides pass/fail, the simulator measures ground-truth statistics
+// (chamber busy time, plug dwell in channels, wash time) that the tests
+// cross-check against the flow's reported metrics — the two are computed
+// by entirely different code paths, so agreement is strong evidence both
+// are right.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "biochip/component_library.hpp"
+#include "biochip/wash_model.hpp"
+#include "core/synthesis.hpp"
+#include "graph/sequencing_graph.hpp"
+
+namespace fbmb {
+
+/// One simulation event, for tracing/debugging.
+struct SimEvent {
+  double time = 0.0;
+  std::string description;
+};
+
+struct SimStats {
+  double component_busy_time = 0.0;   ///< sum of chamber execution time
+  double channel_cache_time = 0.0;    ///< plug park time in channels
+  double component_wash_time = 0.0;   ///< chamber wash total
+  double completion_time = 0.0;       ///< last event
+  int operations_executed = 0;
+  int plugs_moved = 0;
+  int washes_performed = 0;
+};
+
+struct SimResult {
+  bool ok = false;
+  std::vector<std::string> violations;  ///< operational-semantics failures
+  std::vector<SimEvent> trace;          ///< time-ordered event log
+  SimStats stats;
+};
+
+/// Simulates the result. The graph/allocation/wash model must be the ones
+/// the result was synthesized from.
+SimResult simulate_chip(const SequencingGraph& graph,
+                        const Allocation& allocation,
+                        const WashModel& wash_model,
+                        const SynthesisResult& result);
+
+}  // namespace fbmb

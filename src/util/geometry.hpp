@@ -1,0 +1,99 @@
+// Basic integer grid geometry used by placement and routing.
+//
+// The routing plane of a flow-based biochip is partitioned into an array of
+// rectangular cells (Section IV-B of the paper); all placement/routing
+// coordinates in this library are expressed in cell units. Conversion to
+// physical millimetres happens only at reporting time via ChipSpec.
+
+#pragma once
+
+#include <algorithm>
+#include <compare>
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+namespace fbmb {
+
+/// A point on the routing grid, in cell units.
+struct Point {
+  int x = 0;
+  int y = 0;
+
+  friend auto operator<=>(const Point&, const Point&) = default;
+
+  Point operator+(const Point& o) const { return {x + o.x, y + o.y}; }
+  Point operator-(const Point& o) const { return {x - o.x, y - o.y}; }
+};
+
+/// Manhattan distance between two grid points.
+inline int manhattan_distance(const Point& a, const Point& b) {
+  return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+}
+
+/// Axis-aligned rectangle, half-open: covers cells with
+/// x in [x, x+width) and y in [y, y+height).
+struct Rect {
+  int x = 0;
+  int y = 0;
+  int width = 0;
+  int height = 0;
+
+  friend auto operator<=>(const Rect&, const Rect&) = default;
+
+  int left() const { return x; }
+  int right() const { return x + width; }   ///< exclusive
+  int bottom() const { return y; }
+  int top() const { return y + height; }    ///< exclusive
+  int area() const { return width * height; }
+
+  bool contains(const Point& p) const {
+    return p.x >= left() && p.x < right() && p.y >= bottom() && p.y < top();
+  }
+
+  bool contains(const Rect& r) const {
+    return r.left() >= left() && r.right() <= right() &&
+           r.bottom() >= bottom() && r.top() <= top();
+  }
+
+  bool overlaps(const Rect& r) const {
+    // Empty rectangles cover no cells, so they overlap nothing.
+    if (width <= 0 || height <= 0 || r.width <= 0 || r.height <= 0) {
+      return false;
+    }
+    return left() < r.right() && r.left() < right() &&
+           bottom() < r.top() && r.bottom() < top();
+  }
+
+  Point center() const { return {x + width / 2, y + height / 2}; }
+
+  /// Rectangle expanded by `margin` cells on every side (may go negative).
+  Rect inflated(int margin) const {
+    return {x - margin, y - margin, width + 2 * margin, height + 2 * margin};
+  }
+};
+
+/// Manhattan distance between rectangle centers; the paper's Eq. (3) uses
+/// component-to-component Manhattan distance.
+inline int manhattan_distance(const Rect& a, const Rect& b) {
+  return manhattan_distance(a.center(), b.center());
+}
+
+std::string to_string(const Point& p);
+std::string to_string(const Rect& r);
+std::ostream& operator<<(std::ostream& os, const Point& p);
+std::ostream& operator<<(std::ostream& os, const Rect& r);
+
+}  // namespace fbmb
+
+template <>
+struct std::hash<fbmb::Point> {
+  size_t operator()(const fbmb::Point& p) const noexcept {
+    // Pack into 64 bits; grid coordinates are far below 2^32.
+    return std::hash<std::uint64_t>{}(
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(p.x)) << 32) |
+        static_cast<std::uint32_t>(p.y));
+  }
+};

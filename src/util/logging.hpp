@@ -1,0 +1,78 @@
+// Minimal leveled logger. Synthesis stages report progress through this so
+// library users can silence or redirect diagnostics; nothing in the library
+// writes to stdout/stderr except through Logger or explicit report printers.
+
+#pragma once
+
+#include <functional>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace fbmb {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kOff = 4 };
+
+/// Process-wide logging configuration.
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
+  static Logger& instance() {
+    static Logger logger;
+    return logger;
+  }
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+
+  /// Replaces the output sink (default: stderr). Pass nullptr to restore.
+  void set_sink(Sink sink) { sink_ = std::move(sink); }
+
+  void log(LogLevel level, const std::string& message) {
+    if (level < level_) return;
+    if (sink_) {
+      sink_(level, message);
+    } else {
+      std::cerr << '[' << level_name(level) << "] " << message << '\n';
+    }
+  }
+
+  static const char* level_name(LogLevel level) {
+    switch (level) {
+      case LogLevel::kDebug: return "debug";
+      case LogLevel::kInfo: return "info";
+      case LogLevel::kWarning: return "warn";
+      case LogLevel::kError: return "error";
+      case LogLevel::kOff: return "off";
+    }
+    return "?";
+  }
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kWarning;
+  Sink sink_;
+};
+
+namespace detail {
+inline void log_stream(LogLevel level, const std::ostringstream& os) {
+  Logger::instance().log(level, os.str());
+}
+}  // namespace detail
+
+#define FBMB_LOG(lvl, expr)                                     \
+  do {                                                          \
+    if ((lvl) >= ::fbmb::Logger::instance().level()) {          \
+      std::ostringstream fbmb_log_os;                           \
+      fbmb_log_os << expr;                                      \
+      ::fbmb::detail::log_stream((lvl), fbmb_log_os);           \
+    }                                                           \
+  } while (0)
+
+#define FBMB_DEBUG(expr) FBMB_LOG(::fbmb::LogLevel::kDebug, expr)
+#define FBMB_INFO(expr) FBMB_LOG(::fbmb::LogLevel::kInfo, expr)
+#define FBMB_WARN(expr) FBMB_LOG(::fbmb::LogLevel::kWarning, expr)
+#define FBMB_ERROR(expr) FBMB_LOG(::fbmb::LogLevel::kError, expr)
+
+}  // namespace fbmb

@@ -1,0 +1,103 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic stage in the library (simulated-annealing placement,
+// synthetic benchmark generation) draws from an explicitly seeded Rng so
+// that a given seed reproduces a byte-identical synthesis result. We use
+// xoshiro256** seeded through SplitMix64 — fast, high quality, and stable
+// across platforms (unlike std::mt19937 + distribution objects, whose
+// output is not pinned down by the standard for all distributions).
+
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace fbmb {
+
+namespace detail {
+
+/// SplitMix64 step; used to expand a 64-bit seed into xoshiro state.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace detail
+
+/// xoshiro256** deterministic generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5EEDF00DULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = detail::splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() { return next(); }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). Precondition: bound > 0.
+  /// Uses Lemire's multiply-shift rejection method (unbiased).
+  std::uint64_t bounded(std::uint64_t bound) {
+    // Rejection loop terminates with overwhelming probability per draw.
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      const std::uint64_t r = next();
+      // 128-bit multiply-high.
+      const unsigned __int128 m =
+          static_cast<unsigned __int128>(r) * bound;
+      if (static_cast<std::uint64_t>(m) >= threshold) {
+        return static_cast<std::uint64_t>(m >> 64);
+      }
+    }
+  }
+
+  /// Uniform integer in the inclusive range [lo, hi]. Precondition: lo <= hi.
+  int uniform_int(int lo, int hi) {
+    return lo + static_cast<int>(bounded(
+                    static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    // 53 top bits → [0,1) with full double precision.
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Bernoulli draw with probability p of returning true.
+  bool chance(double p) { return uniform() < p; }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+};
+
+}  // namespace fbmb

@@ -1,0 +1,32 @@
+// Small string-formatting helpers shared by reporting and logging.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fbmb {
+
+/// Formats a double with `precision` digits after the decimal point.
+std::string format_double(double value, int precision = 2);
+
+/// Left/right-pads `s` with spaces to `width` characters (no truncation).
+std::string pad_left(std::string_view s, std::size_t width);
+std::string pad_right(std::string_view s, std::size_t width);
+
+/// Joins the elements with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Splits on a single-character separator; keeps empty fields.
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// Percentage improvement of `ours` over `baseline` where smaller is better:
+/// (baseline - ours) / baseline * 100. Returns 0 when baseline == 0.
+double improvement_percent(double ours, double baseline);
+
+/// Percentage improvement where larger is better:
+/// (ours - baseline) / baseline * 100. Returns 0 when baseline == 0.
+double gain_percent(double ours, double baseline);
+
+}  // namespace fbmb

@@ -1,0 +1,152 @@
+// Reference checks for the router's A* search: on a quiet grid (no
+// temporal constraints) the routed cost must equal an independent
+// Dijkstra's, for both uniform and wash-weighted cell costs.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <queue>
+
+#include "route/router.hpp"
+#include "util/rng.hpp"
+
+namespace fbmb {
+namespace {
+
+/// Independent Dijkstra over cost(cell) = 1 + weight(cell), multi-source /
+/// multi-target, mirroring the router's cost model.
+double dijkstra_cost(const RoutingGrid& grid,
+                     const std::vector<Point>& sources,
+                     const std::vector<Point>& targets, double uniform_weight,
+                     bool use_cell_weights) {
+  auto weight = [&](const Point& p) {
+    return use_cell_weights ? grid.cell(p).weight : uniform_weight;
+  };
+  std::unordered_map<Point, double> dist;
+  using Item = std::pair<double, Point>;
+  auto cmp = [](const Item& a, const Item& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return b.second < a.second;
+  };
+  std::priority_queue<Item, std::vector<Item>, decltype(cmp)> open(cmp);
+  for (const Point& s : sources) {
+    if (grid.blocked(s)) continue;
+    const double d = 1.0 + weight(s);
+    dist[s] = d;
+    open.push({d, s});
+  }
+  while (!open.empty()) {
+    const auto [d, p] = open.top();
+    open.pop();
+    if (dist[p] < d) continue;
+    for (const Point& n : grid.neighbors(p)) {
+      if (grid.blocked(n)) continue;
+      const double nd = d + 1.0 + weight(n);
+      auto it = dist.find(n);
+      if (it == dist.end() || nd < it->second) {
+        dist[n] = nd;
+        open.push({nd, n});
+      }
+    }
+  }
+  double best = std::numeric_limits<double>::infinity();
+  for (const Point& t : targets) {
+    if (auto it = dist.find(t); it != dist.end()) {
+      best = std::min(best, it->second);
+    }
+  }
+  return best;
+}
+
+double path_cost(const RoutingGrid& grid, const std::vector<Point>& cells,
+                 double uniform_weight, bool use_cell_weights) {
+  double cost = 0.0;
+  for (const Point& p : cells) {
+    cost += 1.0 + (use_cell_weights ? grid.cell(p).weight : uniform_weight);
+  }
+  return cost;
+}
+
+TEST(AStarReference, MatchesDijkstraOnRandomGrids) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 12; ++trial) {
+    Allocation alloc(AllocationSpec{2, 0, 0, 0});
+    ChipSpec chip;
+    chip.grid_width = 18;
+    chip.grid_height = 18;
+    Placement placement(2);
+    placement.at(ComponentId{0}) = {
+        {rng.uniform_int(0, 5), rng.uniform_int(0, 13)}, false};
+    placement.at(ComponentId{1}) = {
+        {rng.uniform_int(10, 14), rng.uniform_int(0, 13)}, false};
+    if (!placement.is_legal(alloc, chip)) continue;
+
+    RoutingGrid grid(chip, alloc, placement);
+    // Randomize cell weights to exercise the weighted search.
+    for (int x = 0; x < grid.width(); ++x) {
+      for (int y = 0; y < grid.height(); ++y) {
+        grid.cell({x, y}).weight = rng.uniform(0.0, 12.0);
+      }
+    }
+    RoutingGrid reference = grid;  // identical weights
+
+    Schedule s;
+    TransportTask t;
+    t.id = 0;
+    t.producer = OperationId{0};
+    t.consumer = OperationId{1};
+    t.from = ComponentId{0};
+    t.to = ComponentId{1};
+    t.fluid = Fluid{"f", 1e-5};
+    t.departure = 0.0;
+    t.transport_time = 2.0;
+    t.consume = 2.0;
+    s.transports = {t};
+
+    const auto routed = route_transports(grid, s, WashModel{});
+    ASSERT_EQ(routed.paths.size(), 1u);
+    const double a_star = path_cost(reference, routed.paths[0].cells,
+                                    chip.initial_cell_weight, true);
+    const double optimal = dijkstra_cost(
+        reference, reference.ports(ComponentId{0}),
+        reference.ports(ComponentId{1}), chip.initial_cell_weight, true);
+    EXPECT_NEAR(a_star, optimal, 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(AStarReference, UniformWeightsGiveShortestPath) {
+  Allocation alloc(AllocationSpec{2, 0, 0, 0});
+  ChipSpec chip;
+  chip.grid_width = 20;
+  chip.grid_height = 20;
+  Placement placement(2);
+  placement.at(ComponentId{0}) = {{1, 9}, false};
+  placement.at(ComponentId{1}) = {{15, 9}, false};
+  RoutingGrid grid(chip, alloc, placement);
+  RoutingGrid reference = grid;
+
+  Schedule s;
+  TransportTask t;
+  t.id = 0;
+  t.producer = OperationId{0};
+  t.consumer = OperationId{1};
+  t.from = ComponentId{0};
+  t.to = ComponentId{1};
+  t.fluid = Fluid{"f", 1e-5};
+  t.departure = 0.0;
+  t.transport_time = 2.0;
+  t.consume = 2.0;
+  s.transports = {t};
+  RouterOptions opts;
+  opts.wash_aware_weights = false;  // constant w_e
+  const auto routed = route_transports(grid, s, WashModel{}, opts);
+  const double optimal = dijkstra_cost(
+      reference, reference.ports(ComponentId{0}),
+      reference.ports(ComponentId{1}), chip.initial_cell_weight, false);
+  EXPECT_NEAR(path_cost(reference, routed.paths[0].cells,
+                        chip.initial_cell_weight, false),
+              optimal, 1e-9);
+}
+
+}  // namespace
+}  // namespace fbmb

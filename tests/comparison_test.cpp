@@ -1,0 +1,123 @@
+// The paper's headline claims, asserted as tests: across Table I's
+// benchmarks the proposed flow never loses to BA on execution time,
+// resource utilization, channel cache time, or channel wash time, and the
+// average improvements are positive on the larger benchmarks.
+
+#include <gtest/gtest.h>
+
+#include "bench_suite/benchmarks.hpp"
+#include "core/comparison.hpp"
+
+namespace fbmb {
+namespace {
+
+const std::vector<ComparisonRow>& all_rows() {
+  static const std::vector<ComparisonRow> rows = [] {
+    std::vector<ComparisonRow> out;
+    for (const auto& bench : paper_benchmarks()) {
+      out.push_back(compare_flows(bench.name, bench.graph,
+                                  Allocation(bench.allocation), bench.wash));
+    }
+    return out;
+  }();
+  return rows;
+}
+
+TEST(Comparison, ExecutionTimeNeverWorse) {
+  for (const auto& row : all_rows()) {
+    EXPECT_LE(row.ours.completion_time, row.baseline.completion_time + 1e-9)
+        << row.benchmark;
+  }
+}
+
+TEST(Comparison, UtilizationNeverWorse) {
+  for (const auto& row : all_rows()) {
+    EXPECT_GE(row.ours.utilization, row.baseline.utilization - 1e-9)
+        << row.benchmark;
+  }
+}
+
+TEST(Comparison, CacheTimeNeverWorse) {
+  // Fig. 8: total cache time in flow channels is reduced.
+  for (const auto& row : all_rows()) {
+    EXPECT_LE(row.ours.total_cache_time,
+              row.baseline.total_cache_time + 1e-9)
+        << row.benchmark;
+  }
+}
+
+TEST(Comparison, WashTimeNeverWorse) {
+  // Fig. 9: total wash time of flow channels is reduced.
+  for (const auto& row : all_rows()) {
+    EXPECT_LE(row.ours.channel_wash_time,
+              row.baseline.channel_wash_time + 1e-9)
+        << row.benchmark;
+  }
+}
+
+TEST(Comparison, TinyBenchmarksTieOnExecution) {
+  // Table I rows PCR and IVD: 0.0 % improvement — the assays are too small
+  // for the strategies to diverge.
+  const auto& rows = all_rows();
+  EXPECT_DOUBLE_EQ(rows[0].execution_improvement_pct(), 0.0);  // PCR
+  EXPECT_DOUBLE_EQ(rows[1].execution_improvement_pct(), 0.0);  // IVD
+}
+
+TEST(Comparison, LargerBenchmarksImproveExecution) {
+  // CPA and the synthetics improve by roughly 5-11 % in the paper; we
+  // assert strictly positive improvement.
+  const auto& rows = all_rows();
+  for (std::size_t i = 2; i < rows.size(); ++i) {
+    EXPECT_GT(rows[i].execution_improvement_pct(), 0.0)
+        << rows[i].benchmark;
+  }
+}
+
+TEST(Comparison, AverageImprovementsPositive) {
+  double exec = 0.0, util = 0.0;
+  for (const auto& row : all_rows()) {
+    exec += row.execution_improvement_pct();
+    util += row.utilization_improvement_pct();
+  }
+  exec /= static_cast<double>(all_rows().size());
+  util /= static_cast<double>(all_rows().size());
+  // Paper averages: 6.4 % execution, 12.5 % utilization. Shape check only.
+  EXPECT_GT(exec, 2.0);
+  EXPECT_GT(util, 5.0);
+}
+
+TEST(Comparison, ChannelLengthImprovesOnLargeBenchmarks) {
+  // Paper: 5.7 % average channel-length reduction; on our reconstruction
+  // the large benchmarks (CPA, synthetics) all improve. (PCR is the one
+  // structural exception, documented in EXPERIMENTS.md: our flow keeps the
+  // final mix in place, which ties execution but uses one more component
+  // pair than BA's transport-back binding.)
+  const auto& rows = all_rows();
+  for (std::size_t i = 2; i < rows.size(); ++i) {
+    EXPECT_GE(rows[i].channel_length_improvement_pct(), 0.0)
+        << rows[i].benchmark;
+  }
+}
+
+TEST(Comparison, RowMetadataFilled) {
+  const auto& rows = all_rows();
+  EXPECT_EQ(rows[0].operation_count, 7);
+  EXPECT_EQ(rows[2].operation_count, 55);
+  EXPECT_EQ(rows[2].allocation.to_string(), "(8,0,0,2)");
+}
+
+TEST(Comparison, ImprovementArithmetic) {
+  ComparisonRow row;
+  row.ours.completion_time = 90.0;
+  row.baseline.completion_time = 100.0;
+  row.ours.utilization = 0.55;
+  row.baseline.utilization = 0.50;
+  row.ours.channel_length_mm = 950.0;
+  row.baseline.channel_length_mm = 1000.0;
+  EXPECT_NEAR(row.execution_improvement_pct(), 10.0, 1e-9);
+  EXPECT_NEAR(row.utilization_improvement_pct(), 10.0, 1e-9);
+  EXPECT_NEAR(row.channel_length_improvement_pct(), 5.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace fbmb

@@ -1,0 +1,132 @@
+#include "route/control_router.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "bench_suite/benchmarks.hpp"
+#include "core/synthesis.hpp"
+
+namespace fbmb {
+namespace {
+
+RoutedPath path_of(int id, int from, int to, std::vector<Point> cells) {
+  RoutedPath p;
+  p.transport_id = id;
+  p.from_component = from;
+  p.to_component = to;
+  p.cells = std::move(cells);
+  return p;
+}
+
+ChipSpec grid(int w, int h) {
+  ChipSpec spec;
+  spec.grid_width = w;
+  spec.grid_height = h;
+  return spec;
+}
+
+TEST(ControlValveSites, StubsAndJunctionsEnumerated) {
+  RoutingResult routing;
+  routing.paths = {
+      path_of(0, 0, 1, {{2, 2}, {3, 2}, {4, 2}}),
+      path_of(1, 2, 1, {{3, 1}, {3, 2}, {4, 2}}),  // T junction at (3,2)
+  };
+  const auto sites = control_valve_sites(routing);
+  // Junction (3,2) + stubs (2,2), (4,2), (3,1) -- (3,2) is already a
+  // junction site and must not be double-counted.
+  ASSERT_EQ(sites.size(), 4u);
+  int junctions = 0;
+  for (const auto& site : sites) {
+    if (!site.is_port_stub) {
+      ++junctions;
+      EXPECT_EQ(site.cell, (Point{3, 2}));
+      EXPECT_EQ(site.activation, (std::set<int>{0, 1}));
+    }
+  }
+  EXPECT_EQ(junctions, 1);
+}
+
+TEST(ControlRouter, EmptyRouting) {
+  const auto result = route_control_layer({}, grid(10, 10));
+  EXPECT_TRUE(result.routes.empty());
+  EXPECT_EQ(result.unrouted_lines, 0);
+}
+
+TEST(ControlRouter, SingleLineEscapesToBoundary) {
+  RoutingResult routing;
+  routing.paths = {path_of(0, 0, 1, {{5, 5}, {6, 5}})};
+  const auto result = route_control_layer(routing, grid(12, 12));
+  ASSERT_FALSE(result.routes.empty());
+  for (const auto& route : result.routes) {
+    EXPECT_TRUE(route.escaped);
+    // The tree must contain its valve cells and reach the boundary.
+    for (const Point& v : route.valve_cells) {
+      EXPECT_NE(std::find(route.cells.begin(), route.cells.end(), v),
+                route.cells.end());
+    }
+    bool touches_boundary = false;
+    for (const Point& p : route.cells) {
+      if (p.x == 0 || p.y == 0 || p.x == 11 || p.y == 11) {
+        touches_boundary = true;
+      }
+    }
+    EXPECT_TRUE(touches_boundary);
+  }
+  EXPECT_EQ(result.unrouted_lines, 0);
+}
+
+TEST(ControlRouter, LinesDoNotShareCells) {
+  const auto bench = make_cpa();
+  const Allocation alloc(bench.allocation);
+  const auto flow = synthesize_dcsa(bench.graph, alloc, bench.wash);
+  const auto result = route_control_layer(flow.routing, flow.chip);
+  std::unordered_set<Point> seen;
+  for (const auto& route : result.routes) {
+    if (!route.escaped) continue;
+    for (const Point& p : route.cells) {
+      EXPECT_TRUE(seen.insert(p).second)
+          << "control lines overlap at " << to_string(p);
+    }
+  }
+}
+
+TEST(ControlRouter, MostLinesRouteOnPaperBenchmarks) {
+  for (const auto& bench : paper_benchmarks()) {
+    const Allocation alloc(bench.allocation);
+    const auto flow = synthesize_dcsa(bench.graph, alloc, bench.wash);
+    const auto result = route_control_layer(flow.routing, flow.chip);
+    const int total = static_cast<int>(result.routes.size());
+    if (total == 0) continue;
+    // The escape router is greedy; allow a small failure tail but the
+    // bulk of control lines must route.
+    EXPECT_LE(result.unrouted_lines, total / 4) << bench.name;
+  }
+}
+
+TEST(ControlRouter, Deterministic) {
+  const auto bench = make_ivd();
+  const Allocation alloc(bench.allocation);
+  const auto flow = synthesize_dcsa(bench.graph, alloc, bench.wash);
+  const auto a = route_control_layer(flow.routing, flow.chip);
+  const auto b = route_control_layer(flow.routing, flow.chip);
+  ASSERT_EQ(a.routes.size(), b.routes.size());
+  for (std::size_t i = 0; i < a.routes.size(); ++i) {
+    EXPECT_EQ(a.routes[i].cells, b.routes[i].cells);
+  }
+}
+
+TEST(ControlRouter, LengthAccounting) {
+  ControlRoutingResult result;
+  ControlRoute r1;
+  r1.cells = {{0, 0}, {1, 0}, {2, 0}};
+  ControlRoute r2;
+  r2.cells = {{5, 5}};
+  result.routes = {r1, r2};
+  EXPECT_EQ(result.total_cells(), 4);
+  EXPECT_DOUBLE_EQ(result.total_length_mm(10.0), 40.0);
+}
+
+}  // namespace
+}  // namespace fbmb

@@ -1,0 +1,113 @@
+#include "core/dse.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bench_suite/benchmarks.hpp"
+#include "graph/graph_builder.hpp"
+
+namespace fbmb {
+namespace {
+
+DseOptions fast_options() {
+  DseOptions opts;
+  opts.synthesis.placer.restarts = 1;
+  opts.synthesis.placer.sa.iterations_per_temperature = 20;
+  return opts;
+}
+
+TEST(Dse, SweepsWithinBounds) {
+  GraphBuilder b;
+  const auto a = b.mix("a", 3, 0.2);
+  const auto c = b.mix("c", 3, 0.2);
+  const auto d = b.detect("d", 2, 0.2);
+  b.dep(a, d);
+  (void)c;
+  DseOptions opts = fast_options();
+  opts.max_allocation = {2, 0, 0, 2};
+  const auto result = explore_allocations(b.graph(), b.wash_model(), opts);
+  // mixers 1..2 x detectors 1..2 = 4 points (heaters/filters stay 0).
+  EXPECT_EQ(result.points.size(), 4u);
+  for (const auto& p : result.points) {
+    EXPECT_GE(p.allocation.mixers, 1);
+    EXPECT_LE(p.allocation.mixers, 2);
+    EXPECT_EQ(p.allocation.heaters, 0);
+    EXPECT_GT(p.completion_time, 0.0);
+    EXPECT_GT(p.component_area, 0);
+  }
+}
+
+TEST(Dse, UnusedTypesStayAtZero) {
+  GraphBuilder b;
+  b.mix("a", 3, 0.2);
+  DseOptions opts = fast_options();
+  opts.max_allocation = {2, 2, 2, 2};
+  const auto result = explore_allocations(b.graph(), b.wash_model(), opts);
+  for (const auto& p : result.points) {
+    EXPECT_GE(p.allocation.heaters, 0);
+  }
+  // Points exist with zero heaters/filters/detectors (assay needs none,
+  // lower bound is 0) — and the frontier's cheapest point allocates none.
+  ASSERT_FALSE(result.frontier.empty());
+  EXPECT_EQ(result.frontier.front().allocation.heaters, 0);
+  EXPECT_EQ(result.frontier.front().allocation.detectors, 0);
+}
+
+TEST(Dse, FrontierIsPareto) {
+  const auto bench = make_ivd();
+  DseOptions opts = fast_options();
+  opts.max_allocation = {3, 0, 0, 2};
+  const auto result =
+      explore_allocations(bench.graph, bench.wash, opts);
+  ASSERT_FALSE(result.frontier.empty());
+  // No frontier point dominates another.
+  for (const auto& a : result.frontier) {
+    for (const auto& b : result.frontier) {
+      if (a.allocation == b.allocation) continue;
+      const bool dominates = a.completion_time <= b.completion_time &&
+                             a.component_area <= b.component_area &&
+                             (a.completion_time < b.completion_time ||
+                              a.component_area < b.component_area);
+      EXPECT_FALSE(dominates)
+          << a.allocation.to_string() << " dominates "
+          << b.allocation.to_string();
+    }
+  }
+  // Frontier sorted by area, completion non-increasing along it.
+  for (std::size_t i = 1; i < result.frontier.size(); ++i) {
+    EXPECT_GE(result.frontier[i].component_area,
+              result.frontier[i - 1].component_area);
+    EXPECT_LE(result.frontier[i].completion_time,
+              result.frontier[i - 1].completion_time + 1e-9);
+  }
+}
+
+TEST(Dse, MoreComponentsNeverHurtCompletion) {
+  // The best completion within larger bounds is <= within smaller bounds.
+  const auto bench = make_ivd();
+  DseOptions small = fast_options();
+  small.max_allocation = {1, 0, 0, 1};
+  DseOptions large = fast_options();
+  large.max_allocation = {3, 0, 0, 2};
+  const auto rs = explore_allocations(bench.graph, bench.wash, small);
+  const auto rl = explore_allocations(bench.graph, bench.wash, large);
+  auto best = [](const DseResult& r) {
+    double b = 1e18;
+    for (const auto& p : r.points) b = std::min(b, p.completion_time);
+    return b;
+  };
+  EXPECT_LE(best(rl), best(rs) + 1e-9);
+}
+
+TEST(Dse, TotalComponentCap) {
+  const auto bench = make_ivd();
+  DseOptions opts = fast_options();
+  opts.max_allocation = {3, 0, 0, 3};
+  opts.max_total_components = 3;
+  const auto result = explore_allocations(bench.graph, bench.wash, opts);
+  for (const auto& p : result.points) {
+    EXPECT_LE(p.allocation.total(), 3);
+  }
+}
+
+}  // namespace
+}  // namespace fbmb

@@ -1,0 +1,127 @@
+// The capstone property suite: for every benchmark in the extended suite
+// (Table-I seven + the extra real-life assays), both flows must produce
+// results that pass ALL four independent checkers — schedule validator,
+// placement legality, routing re-simulation, and the discrete-event chip
+// simulator — and the cross-flow dominance invariants must hold.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "bench_suite/benchmarks.hpp"
+#include "core/comparison.hpp"
+#include "route/grid.hpp"
+#include "route/validator.hpp"
+#include "schedule/validator.hpp"
+#include "sim/chip_simulator.hpp"
+
+namespace fbmb {
+namespace {
+
+class EndToEndTest : public ::testing::TestWithParam<int> {
+ protected:
+  static const std::vector<Benchmark>& suite() {
+    static const auto benches = extended_benchmarks();
+    return benches;
+  }
+  static const ComparisonRow& row(int index) {
+    static std::map<int, ComparisonRow> cache;
+    auto it = cache.find(index);
+    if (it == cache.end()) {
+      const Benchmark& bench = suite()[static_cast<std::size_t>(index)];
+      it = cache.emplace(index,
+                         compare_flows(bench.name, bench.graph,
+                                       Allocation(bench.allocation),
+                                       bench.wash))
+               .first;
+    }
+    return it->second;
+  }
+};
+
+TEST_P(EndToEndTest, AllFourCheckersPassOnBothFlows) {
+  const Benchmark& bench = suite()[static_cast<std::size_t>(GetParam())];
+  const Allocation alloc(bench.allocation);
+  const ComparisonRow& r = row(GetParam());
+  for (const SynthesisResult* result : {&r.ours, &r.baseline}) {
+    const auto sched =
+        validate_schedule(result->schedule, bench.graph, alloc, bench.wash);
+    EXPECT_TRUE(sched.empty())
+        << bench.name << ": " << (sched.empty() ? "" : sched.front());
+    EXPECT_TRUE(result->placement.is_legal(alloc, result->chip))
+        << bench.name;
+    RoutingGrid fresh(result->chip, alloc, result->placement);
+    const auto route =
+        validate_routing(result->routing, result->schedule, fresh,
+                         bench.wash);
+    EXPECT_TRUE(route.empty())
+        << bench.name << ": " << (route.empty() ? "" : route.front());
+    const auto sim =
+        simulate_chip(bench.graph, alloc, bench.wash, *result);
+    EXPECT_TRUE(sim.ok) << bench.name << ": "
+                        << (sim.violations.empty() ? ""
+                                                   : sim.violations.front());
+  }
+}
+
+TEST_P(EndToEndTest, DominanceInvariants) {
+  const ComparisonRow& r = row(GetParam());
+  EXPECT_LE(r.ours.completion_time, r.baseline.completion_time + 1e-9);
+  EXPECT_GE(r.ours.utilization, r.baseline.utilization - 1e-9);
+  EXPECT_LE(r.ours.total_cache_time, r.baseline.total_cache_time + 1e-9);
+  // Wash-time dominance is the paper's Fig. 9 observation on ITS suite
+  // (indices 0..6) and holds there; it is not an algorithmic guarantee —
+  // the flow optimizes completion first, and on GlucosePanel that priority
+  // trades a few seconds of channel wash for the better schedule.
+  if (GetParam() < 7) {
+    EXPECT_LE(r.ours.channel_wash_time,
+              r.baseline.channel_wash_time + 1e-9);
+  }
+}
+
+TEST_P(EndToEndTest, SimulatorAgreesWithReportedMetrics) {
+  const Benchmark& bench = suite()[static_cast<std::size_t>(GetParam())];
+  const Allocation alloc(bench.allocation);
+  const ComparisonRow& r = row(GetParam());
+  const auto sim = simulate_chip(bench.graph, alloc, bench.wash, r.ours);
+  ASSERT_TRUE(sim.ok);
+  EXPECT_NEAR(sim.stats.completion_time, r.ours.completion_time, 1e-6);
+  EXPECT_NEAR(sim.stats.channel_cache_time, r.ours.total_cache_time, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ExtendedSuite, EndToEndTest, ::testing::Range(0, 10),
+    [](const ::testing::TestParamInfo<int>& info) {
+      static const auto benches = extended_benchmarks();
+      return benches[static_cast<std::size_t>(info.param)].name;
+    });
+
+TEST(ExtendedBenchmarks, ProteinSplitSizes) {
+  for (int k = 1; k <= 3; ++k) {
+    const auto bench = make_protein_split(k);
+    const int mixes = (1 << (k + 1)) - 1;
+    const int detects = 1 << k;
+    EXPECT_EQ(bench.graph.operation_count(),
+              static_cast<std::size_t>(mixes + detects))
+        << "k=" << k;
+    EXPECT_FALSE(bench.graph.validate().has_value());
+  }
+}
+
+TEST(ExtendedBenchmarks, GlucosePanelStructure) {
+  const auto bench = make_glucose_panel();
+  EXPECT_EQ(bench.graph.operation_count(), 12u);
+  EXPECT_EQ(bench.graph.sinks().size(), 3u);    // three detections
+  EXPECT_EQ(bench.graph.sources().size(), 1u);  // one sample
+  EXPECT_FALSE(bench.graph.validate().has_value());
+}
+
+TEST(ExtendedBenchmarks, ListContainsTen) {
+  const auto all = extended_benchmarks();
+  ASSERT_EQ(all.size(), 10u);
+  EXPECT_EQ(all[7].name, "ProteinSplit2");
+  EXPECT_EQ(all[9].name, "GlucosePanel");
+}
+
+}  // namespace
+}  // namespace fbmb

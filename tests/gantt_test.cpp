@@ -1,0 +1,101 @@
+#include "report/gantt.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bench_suite/benchmarks.hpp"
+#include "graph/graph_builder.hpp"
+#include "schedule/list_scheduler.hpp"
+#include "util/strings.hpp"
+
+namespace fbmb {
+namespace {
+
+TEST(Gantt, RendersRowsPerComponentPlusChannels) {
+  const auto bench = make_pcr();
+  const Allocation alloc(bench.allocation);
+  const auto schedule =
+      schedule_bioassay(bench.graph, alloc, bench.wash);
+  const std::string gantt = render_gantt(schedule, bench.graph, alloc);
+  // Header + one row per component + channels row.
+  EXPECT_EQ(split(gantt, '\n').size() - 1,  // trailing newline
+            1u + alloc.size() + 1u);
+  for (const auto& comp : alloc.components()) {
+    EXPECT_NE(gantt.find(comp.name), std::string::npos);
+  }
+  EXPECT_NE(gantt.find("channels"), std::string::npos);
+}
+
+TEST(Gantt, OperationCellsCoverExecutionWindows) {
+  GraphBuilder b;
+  const auto a = b.mix("a", 4, 2.0);  // tag 'a'
+  (void)a;
+  const Allocation alloc(AllocationSpec{1, 0, 0, 0});
+  const auto schedule = schedule_bioassay(b.graph(), alloc, b.wash_model());
+  GanttOptions opts;
+  opts.seconds_per_column = 1.0;
+  const std::string gantt = render_gantt(schedule, b.graph(), alloc, opts);
+  const auto lines = split(gantt, '\n');
+  // Mixer1 row: 4 columns of the op tag.
+  ASSERT_GE(lines.size(), 2u);
+  const std::string& row = lines[1];
+  EXPECT_EQ(std::count(row.begin(), row.end(), 'a'), 4);
+}
+
+TEST(Gantt, WashWindowsMarked) {
+  GraphBuilder b;
+  const auto o1 = b.mix("o1", 3, 4.0);
+  const auto o2 = b.mix("o2", 3, 0.2);  // forced onto the same mixer
+  (void)o1;
+  (void)o2;
+  const Allocation alloc(AllocationSpec{1, 0, 0, 0});
+  const auto schedule = schedule_bioassay(b.graph(), alloc, b.wash_model());
+  const std::string gantt = render_gantt(schedule, b.graph(), alloc);
+  EXPECT_NE(gantt.find('w'), std::string::npos);
+}
+
+TEST(Gantt, ChannelRowShowsParkedFluids) {
+  GraphBuilder b;
+  const auto o1 = b.mix("o1", 3, 0.2);
+  const auto o2 = b.mix("o2", 20, 2.0);
+  const auto o3 = b.mix("o3", 2, 0.2);
+  b.dep(o2, o3);
+  b.dep(o1, o3);
+  const Allocation alloc(AllocationSpec{1, 0, 0, 0});
+  SchedulerOptions opts;
+  opts.refine_storage = false;  // keep the long channel dwell visible
+  const auto schedule =
+      schedule_bioassay(b.graph(), alloc, b.wash_model(), opts);
+  ASSERT_GT(schedule.total_cache_time(), 0.0);
+  const std::string gantt = render_gantt(schedule, b.graph(), alloc);
+  const auto lines = split(gantt, '\n');
+  const std::string& channel_row = lines[lines.size() - 2];
+  EXPECT_NE(channel_row.find('1'), std::string::npos);
+  (void)o1;
+}
+
+TEST(Gantt, TruncationMarksLongSchedules) {
+  const auto bench = make_cpa();
+  const Allocation alloc(bench.allocation);
+  const auto schedule = schedule_bioassay(bench.graph, alloc, bench.wash);
+  GanttOptions opts;
+  opts.seconds_per_column = 0.1;  // force > max_columns
+  opts.max_columns = 40;
+  const std::string gantt = render_gantt(schedule, bench.graph, alloc, opts);
+  EXPECT_NE(gantt.find("truncated"), std::string::npos);
+  EXPECT_NE(gantt.find(">|"), std::string::npos);
+}
+
+TEST(Gantt, ScalesColumnsWithResolution) {
+  const auto bench = make_pcr();
+  const Allocation alloc(bench.allocation);
+  const auto schedule = schedule_bioassay(bench.graph, alloc, bench.wash);
+  GanttOptions coarse, fine;
+  coarse.seconds_per_column = 4.0;
+  fine.seconds_per_column = 0.5;
+  const std::string a = render_gantt(schedule, bench.graph, alloc, coarse);
+  const std::string b = render_gantt(schedule, bench.graph, alloc, fine);
+  EXPECT_LT(a.size(), b.size());
+}
+
+}  // namespace
+}  // namespace fbmb

@@ -1,0 +1,99 @@
+#include "util/geometry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace fbmb {
+namespace {
+
+TEST(Point, ComparisonAndArithmetic) {
+  const Point a{1, 2};
+  const Point b{3, -1};
+  EXPECT_EQ(a + b, (Point{4, 1}));
+  EXPECT_EQ(b - a, (Point{2, -3}));
+  EXPECT_LT(a, b);  // lexicographic: x first
+  EXPECT_EQ(a, (Point{1, 2}));
+  EXPECT_NE(a, b);
+}
+
+TEST(Point, ManhattanDistance) {
+  EXPECT_EQ(manhattan_distance(Point{0, 0}, Point{0, 0}), 0);
+  EXPECT_EQ(manhattan_distance(Point{0, 0}, Point{3, 4}), 7);
+  EXPECT_EQ(manhattan_distance(Point{-2, -2}, Point{2, 2}), 8);
+  // Symmetry.
+  EXPECT_EQ(manhattan_distance(Point{1, 5}, Point{4, 1}),
+            manhattan_distance(Point{4, 1}, Point{1, 5}));
+}
+
+TEST(Point, HashDistinguishesCoordinates) {
+  std::unordered_set<Point> set;
+  for (int x = -4; x <= 4; ++x) {
+    for (int y = -4; y <= 4; ++y) {
+      set.insert(Point{x, y});
+    }
+  }
+  EXPECT_EQ(set.size(), 81u);
+  EXPECT_TRUE(set.contains(Point{0, 0}));
+  EXPECT_FALSE(set.contains(Point{5, 5}));
+}
+
+TEST(Rect, AccessorsAreHalfOpen) {
+  const Rect r{2, 3, 4, 5};
+  EXPECT_EQ(r.left(), 2);
+  EXPECT_EQ(r.right(), 6);
+  EXPECT_EQ(r.bottom(), 3);
+  EXPECT_EQ(r.top(), 8);
+  EXPECT_EQ(r.area(), 20);
+  EXPECT_TRUE(r.contains(Point{2, 3}));
+  EXPECT_TRUE(r.contains(Point{5, 7}));
+  EXPECT_FALSE(r.contains(Point{6, 3}));  // right edge exclusive
+  EXPECT_FALSE(r.contains(Point{2, 8}));  // top edge exclusive
+}
+
+TEST(Rect, ContainsRect) {
+  const Rect outer{0, 0, 10, 10};
+  EXPECT_TRUE(outer.contains(Rect{0, 0, 10, 10}));
+  EXPECT_TRUE(outer.contains(Rect{2, 2, 3, 3}));
+  EXPECT_FALSE(outer.contains(Rect{8, 8, 3, 3}));
+  EXPECT_FALSE(outer.contains(Rect{-1, 0, 2, 2}));
+}
+
+TEST(Rect, OverlapIsStrict) {
+  const Rect a{0, 0, 4, 4};
+  EXPECT_TRUE(a.overlaps(Rect{3, 3, 4, 4}));
+  EXPECT_FALSE(a.overlaps(Rect{4, 0, 2, 2}));  // touching edges don't overlap
+  EXPECT_FALSE(a.overlaps(Rect{0, 4, 2, 2}));
+  EXPECT_TRUE(a.overlaps(a));
+  // Symmetry.
+  const Rect b{2, -1, 3, 3};
+  EXPECT_EQ(a.overlaps(b), b.overlaps(a));
+}
+
+TEST(Rect, InflatedGrowsEverySide) {
+  const Rect r{5, 5, 2, 3};
+  const Rect big = r.inflated(2);
+  EXPECT_EQ(big, (Rect{3, 3, 6, 7}));
+  EXPECT_EQ(r.inflated(0), r);
+}
+
+TEST(Rect, CenterAndCenterDistance) {
+  const Rect a{0, 0, 4, 4};
+  const Rect b{10, 0, 4, 4};
+  EXPECT_EQ(a.center(), (Point{2, 2}));
+  EXPECT_EQ(manhattan_distance(a, b), 10);
+}
+
+TEST(Rect, ZeroSizeRectContainsNothing) {
+  const Rect r{3, 3, 0, 0};
+  EXPECT_FALSE(r.contains(Point{3, 3}));
+  EXPECT_FALSE(r.overlaps(Rect{0, 0, 10, 10}));
+}
+
+TEST(GeometryToString, Formats) {
+  EXPECT_EQ(to_string(Point{1, -2}), "(1,-2)");
+  EXPECT_EQ(to_string(Rect{0, 1, 2, 3}), "[0,1 2x3]");
+}
+
+}  // namespace
+}  // namespace fbmb

@@ -1,0 +1,91 @@
+#include "graph/graph_builder.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fbmb {
+namespace {
+
+TEST(GraphBuilder, BuildsValidGraph) {
+  GraphBuilder b;
+  const auto a = b.mix("a", 5, 2.0);
+  const auto c = b.detect("c", 3, 0.2);
+  b.dep(a, c);
+  const SequencingGraph g = b.build();
+  EXPECT_EQ(g.operation_count(), 2u);
+  EXPECT_EQ(g.dependency_count(), 1u);
+  EXPECT_EQ(g.operation(a).type, ComponentType::kMixer);
+  EXPECT_EQ(g.operation(c).type, ComponentType::kDetector);
+}
+
+TEST(GraphBuilder, WashSecondsRoundTripThroughModel) {
+  GraphBuilder b;
+  const auto a = b.mix("a", 5, 3.5);
+  const SequencingGraph g = b.graph();
+  EXPECT_NEAR(
+      b.wash_model().wash_time(g.operation(a).output.diffusion_coefficient),
+      3.5, 1e-9);
+}
+
+TEST(GraphBuilder, WashOverridesPinnedExactly) {
+  GraphBuilder b;
+  // 10 s exceeds the default anchors' 6 s maximum; the override must still
+  // return exactly 10 s (the paper's o1 example uses 10 s washes).
+  const auto a = b.mix("a", 6, 10.0);
+  const SequencingGraph g = b.graph();
+  EXPECT_DOUBLE_EQ(
+      b.wash_model().wash_time(g.operation(a).output.diffusion_coefficient),
+      10.0);
+}
+
+TEST(GraphBuilder, AllOperationKinds) {
+  GraphBuilder b;
+  EXPECT_EQ(b.graph().operation(b.mix("m", 1, 1)).type,
+            ComponentType::kMixer);
+  EXPECT_EQ(b.graph().operation(b.heat("h", 1, 1)).type,
+            ComponentType::kHeater);
+  EXPECT_EQ(b.graph().operation(b.filter("f", 1, 1)).type,
+            ComponentType::kFilter);
+  EXPECT_EQ(b.graph().operation(b.detect("d", 1, 1)).type,
+            ComponentType::kDetector);
+}
+
+TEST(GraphBuilder, ExplicitFluidOp) {
+  GraphBuilder b;
+  const auto id = b.op("x", ComponentType::kFilter, 2.0, Fluid{"cells", 5e-8});
+  EXPECT_EQ(b.graph().operation(id).output.name, "cells");
+}
+
+TEST(GraphBuilder, DepThrowsOnDuplicate) {
+  GraphBuilder b;
+  const auto a = b.mix("a", 1, 1);
+  const auto c = b.mix("c", 1, 1);
+  b.dep(a, c);
+  EXPECT_THROW(b.dep(a, c), std::invalid_argument);
+  EXPECT_THROW(b.dep(a, a), std::invalid_argument);
+}
+
+TEST(GraphBuilder, BuildThrowsOnCycle) {
+  GraphBuilder b;
+  const auto a = b.mix("a", 1, 1);
+  const auto c = b.mix("c", 1, 1);
+  b.dep(a, c);
+  b.dep(c, a);  // allowed at insert time...
+  EXPECT_THROW(b.build(), std::invalid_argument);  // ...caught at build
+}
+
+TEST(GraphBuilder, ChainCreatesSequentialDeps) {
+  GraphBuilder b;
+  const auto a = b.mix("a", 1, 1);
+  const auto c = b.mix("c", 1, 1);
+  const auto d = b.mix("d", 1, 1);
+  const auto e = b.mix("e", 1, 1);
+  b.chain(a, c, d, e);
+  const auto& g = b.graph();
+  EXPECT_TRUE(g.has_dependency(a, c));
+  EXPECT_TRUE(g.has_dependency(c, d));
+  EXPECT_TRUE(g.has_dependency(d, e));
+  EXPECT_EQ(g.dependency_count(), 3u);
+}
+
+}  // namespace
+}  // namespace fbmb

@@ -1,0 +1,72 @@
+#include "util/logging.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace fbmb {
+namespace {
+
+/// RAII guard restoring global logger state after each test.
+class LoggerGuard {
+ public:
+  LoggerGuard() : saved_level_(Logger::instance().level()) {}
+  ~LoggerGuard() {
+    Logger::instance().set_level(saved_level_);
+    Logger::instance().set_sink(nullptr);
+  }
+
+ private:
+  LogLevel saved_level_;
+};
+
+TEST(Logger, SinkReceivesMessagesAtOrAboveLevel) {
+  LoggerGuard guard;
+  std::vector<std::string> messages;
+  Logger::instance().set_level(LogLevel::kInfo);
+  Logger::instance().set_sink([&](LogLevel, const std::string& m) {
+    messages.push_back(m);
+  });
+  FBMB_DEBUG("hidden " << 1);
+  FBMB_INFO("shown " << 2);
+  FBMB_WARN("also shown");
+  ASSERT_EQ(messages.size(), 2u);
+  EXPECT_EQ(messages[0], "shown 2");
+  EXPECT_EQ(messages[1], "also shown");
+}
+
+TEST(Logger, OffSilencesEverything) {
+  LoggerGuard guard;
+  int count = 0;
+  Logger::instance().set_level(LogLevel::kOff);
+  Logger::instance().set_sink([&](LogLevel, const std::string&) { ++count; });
+  FBMB_ERROR("nope");
+  FBMB_WARN("nope");
+  EXPECT_EQ(count, 0);
+}
+
+TEST(Logger, StreamExpressionIsLazy) {
+  LoggerGuard guard;
+  Logger::instance().set_level(LogLevel::kError);
+  int evaluations = 0;
+  auto expensive = [&]() {
+    ++evaluations;
+    return std::string("x");
+  };
+  FBMB_DEBUG(expensive());  // below level: must not evaluate
+  EXPECT_EQ(evaluations, 0);
+  Logger::instance().set_sink([](LogLevel, const std::string&) {});
+  FBMB_ERROR(expensive());
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(Logger, LevelNames) {
+  EXPECT_STREQ(Logger::level_name(LogLevel::kDebug), "debug");
+  EXPECT_STREQ(Logger::level_name(LogLevel::kInfo), "info");
+  EXPECT_STREQ(Logger::level_name(LogLevel::kWarning), "warn");
+  EXPECT_STREQ(Logger::level_name(LogLevel::kError), "error");
+}
+
+}  // namespace
+}  // namespace fbmb

@@ -1,0 +1,80 @@
+#include "graph/graph_algorithms.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bench_suite/benchmarks.hpp"
+#include "schedule/list_scheduler.hpp"
+#include "schedule/validator.hpp"
+
+namespace fbmb {
+namespace {
+
+TEST(MergeGraphs, DisjointUnionSizes) {
+  const auto pcr = make_pcr();
+  const auto ivd = make_ivd();
+  const auto merged = merge_graphs({&pcr.graph, &ivd.graph});
+  EXPECT_EQ(merged.operation_count(),
+            pcr.graph.operation_count() + ivd.graph.operation_count());
+  EXPECT_EQ(merged.dependency_count(),
+            pcr.graph.dependency_count() + ivd.graph.dependency_count());
+  EXPECT_FALSE(merged.validate().has_value());
+}
+
+TEST(MergeGraphs, DefaultPrefixesNumbered) {
+  const auto pcr = make_pcr();
+  const auto merged = merge_graphs({&pcr.graph, &pcr.graph});
+  EXPECT_EQ(merged.operation(OperationId{0}).name, "a1:m1");
+  EXPECT_EQ(merged.operation(OperationId{7}).name, "a2:m1");
+}
+
+TEST(MergeGraphs, CustomPrefixes) {
+  const auto pcr = make_pcr();
+  const auto merged = merge_graphs({&pcr.graph}, {"x:"});
+  EXPECT_EQ(merged.operation(OperationId{0}).name, "x:m1");
+}
+
+TEST(MergeGraphs, EdgesStayWithinTheirAssay) {
+  const auto pcr = make_pcr();
+  const auto ivd = make_ivd();
+  const auto merged = merge_graphs({&pcr.graph, &ivd.graph});
+  const int boundary = static_cast<int>(pcr.graph.operation_count());
+  for (const auto& dep : merged.dependencies()) {
+    EXPECT_EQ(dep.from.value < boundary, dep.to.value < boundary);
+  }
+}
+
+TEST(MergeGraphs, EmptyInput) {
+  const auto merged = merge_graphs({});
+  EXPECT_TRUE(merged.empty());
+}
+
+TEST(MergeGraphs, PreservesFluidsAndDurations) {
+  const auto cpa = make_cpa();
+  const auto merged = merge_graphs({&cpa.graph});
+  for (std::size_t i = 0; i < cpa.graph.operation_count(); ++i) {
+    const OperationId id{static_cast<int>(i)};
+    EXPECT_DOUBLE_EQ(merged.operation(id).duration,
+                     cpa.graph.operation(id).duration);
+    EXPECT_DOUBLE_EQ(merged.operation(id).output.diffusion_coefficient,
+                     cpa.graph.operation(id).output.diffusion_coefficient);
+  }
+}
+
+TEST(MergeGraphs, MergedAssayScheduleValid) {
+  const auto pcr = make_pcr();
+  const auto ivd = make_ivd();
+  const auto merged = merge_graphs({&pcr.graph, &ivd.graph});
+  const Allocation alloc(AllocationSpec{3, 0, 0, 2});
+  WashModel wash = ivd.wash;
+  const auto schedule = schedule_bioassay(merged, alloc, wash);
+  const auto errors = validate_schedule(schedule, merged, alloc, wash);
+  EXPECT_TRUE(errors.empty()) << (errors.empty() ? "" : errors.front());
+  // Concurrent execution is no slower than either assay alone and
+  // (trivially) no faster than the longer of the two.
+  const auto pcr_alone =
+      schedule_bioassay(pcr.graph, Allocation(pcr.allocation), pcr.wash);
+  EXPECT_GE(schedule.completion_time, pcr_alone.completion_time - 1e-9);
+}
+
+}  // namespace
+}  // namespace fbmb

@@ -1,0 +1,163 @@
+#include "graph/mixing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bench_suite/benchmarks.hpp"
+#include "graph/graph_builder.hpp"
+
+namespace fbmb {
+namespace {
+
+Mixture plug(double volume,
+             std::map<std::string, double> concentration = {}) {
+  Mixture m;
+  m.volume = volume;
+  m.concentration = std::move(concentration);
+  return m;
+}
+
+TEST(Mixing, EqualVolumesAverageConcentrations) {
+  const Mixture out =
+      mix(plug(1.0, {{"protein", 8.0}}), plug(1.0, {{"protein", 0.0}}));
+  EXPECT_DOUBLE_EQ(out.volume, 2.0);
+  EXPECT_DOUBLE_EQ(out.concentration.at("protein"), 4.0);
+}
+
+TEST(Mixing, VolumeWeightedAverage) {
+  const Mixture out =
+      mix(plug(3.0, {{"dye", 10.0}}), plug(1.0, {{"dye", 2.0}}));
+  EXPECT_DOUBLE_EQ(out.volume, 4.0);
+  EXPECT_DOUBLE_EQ(out.concentration.at("dye"), (30.0 + 2.0) / 4.0);
+}
+
+TEST(Mixing, DisjointSpeciesBothPresent) {
+  const Mixture out =
+      mix(plug(1.0, {{"a", 2.0}}), plug(1.0, {{"b", 4.0}}));
+  EXPECT_DOUBLE_EQ(out.concentration.at("a"), 1.0);
+  EXPECT_DOUBLE_EQ(out.concentration.at("b"), 2.0);
+}
+
+TEST(Mixing, AmountIsConcentrationTimesVolume) {
+  const Mixture m = plug(2.5, {{"x", 4.0}});
+  EXPECT_DOUBLE_EQ(m.amount("x"), 10.0);
+  EXPECT_DOUBLE_EQ(m.amount("missing"), 0.0);
+}
+
+TEST(Mixing, MixConservesAmounts) {
+  const Mixture a = plug(1.5, {{"x", 3.0}});
+  const Mixture b = plug(2.5, {{"x", 7.0}});
+  const Mixture out = mix(a, b);
+  EXPECT_NEAR(out.amount("x"), a.amount("x") + b.amount("x"), 1e-12);
+}
+
+TEST(Mixing, MixWithEmptyPlug) {
+  const Mixture out = mix(plug(2.0, {{"x", 5.0}}), plug(0.0));
+  EXPECT_DOUBLE_EQ(out.volume, 2.0);
+  EXPECT_DOUBLE_EQ(out.concentration.at("x"), 5.0);
+}
+
+TEST(Mixing, SplitPreservesConcentrationAndTotalVolume) {
+  const auto parts = split(plug(3.0, {{"x", 6.0}}), 3);
+  ASSERT_EQ(parts.size(), 3u);
+  double total = 0.0;
+  for (const auto& p : parts) {
+    EXPECT_DOUBLE_EQ(p.volume, 1.0);
+    EXPECT_DOUBLE_EQ(p.concentration.at("x"), 6.0);
+    total += p.volume;
+  }
+  EXPECT_DOUBLE_EQ(total, 3.0);
+}
+
+TEST(Propagation, SerialDilutionHalvesPerLevel) {
+  // sample -> d1 (mix with buffer) -> d2 -> d3: each stage mixes the
+  // running plug 1:1 with fresh buffer, halving the concentration.
+  GraphBuilder b;
+  const auto sample = b.mix("sample", 1, 0.2);
+  const auto buf1 = b.mix("buf1", 1, 0.2);
+  const auto d1 = b.mix("d1", 1, 0.2);
+  b.dep(sample, d1);
+  b.dep(buf1, d1);
+  const auto buf2 = b.mix("buf2", 1, 0.2);
+  const auto d2 = b.mix("d2", 1, 0.2);
+  b.dep(d1, d2);
+  b.dep(buf2, d2);
+  std::map<int, Mixture> sources;
+  sources[sample.value] = plug(1.0, {{"protein", 8.0}});
+  sources[buf1.value] = plug(1.0);
+  // d1 output: 2.0 volume at 4.0 — but only half continues (single child,
+  // so all of it) mixed with 1.0 buffer -> (2*4 + 0) / 3 ... careful: d1
+  // has volume 2, buf2 volume 1 -> d2 = 8/3 concentration * ... amounts:
+  // 8 units protein in 3 volume.
+  const auto outputs = propagate_mixtures(b.graph(), sources);
+  EXPECT_DOUBLE_EQ(outputs[static_cast<std::size_t>(d1.value)].volume, 2.0);
+  EXPECT_DOUBLE_EQ(
+      outputs[static_cast<std::size_t>(d1.value)].concentration.at(
+          "protein"),
+      4.0);
+  EXPECT_NEAR(outputs[static_cast<std::size_t>(d2.value)].concentration.at(
+                  "protein"),
+              8.0 / 3.0, 1e-12);
+}
+
+TEST(Propagation, FanOutSplitsVolume) {
+  GraphBuilder b;
+  const auto src = b.mix("src", 1, 0.2);
+  const auto l = b.mix("l", 1, 0.2);
+  const auto r = b.mix("r", 1, 0.2);
+  b.dep(src, l);
+  b.dep(src, r);
+  std::map<int, Mixture> sources;
+  sources[src.value] = plug(2.0, {{"x", 6.0}});
+  const auto outputs = propagate_mixtures(b.graph(), sources);
+  EXPECT_DOUBLE_EQ(outputs[static_cast<std::size_t>(l.value)].volume, 1.0);
+  EXPECT_DOUBLE_EQ(outputs[static_cast<std::size_t>(r.value)].volume, 1.0);
+  EXPECT_DOUBLE_EQ(
+      outputs[static_cast<std::size_t>(l.value)].concentration.at("x"),
+      6.0);
+}
+
+TEST(Propagation, DefaultSourcesAreUnitBuffer) {
+  GraphBuilder b;
+  const auto a = b.mix("a", 1, 0.2);
+  const auto outputs = propagate_mixtures(b.graph(), {});
+  EXPECT_DOUBLE_EQ(outputs[static_cast<std::size_t>(a.value)].volume, 1.0);
+  EXPECT_TRUE(
+      outputs[static_cast<std::size_t>(a.value)].concentration.empty());
+}
+
+TEST(Propagation, VolumeConservedOnPaperBenchmarks) {
+  for (const auto& bench : paper_benchmarks()) {
+    EXPECT_NEAR(volume_conservation_error(bench.graph, {}), 0.0, 1e-9)
+        << bench.name;
+  }
+}
+
+TEST(Propagation, CpaDilutionTreeLevels) {
+  // The CPA benchmark's dilution tree: the root's sample concentration is
+  // halved at every tree level (each dilution mixes a parent share with an
+  // equal implicit buffer volume... in our reconstruction each tree node
+  // mixes only the parent's share, so concentration is preserved but the
+  // VOLUME halves per level through the binary fan-out).
+  const auto bench = make_cpa();
+  std::map<int, Mixture> sources;
+  sources[0] = plug(8.0, {{"protein", 1.0}});  // dil0 is operation 0
+  const auto outputs = propagate_mixtures(bench.graph, sources);
+  // Level-3 dilution nodes (dil7..dil14 by construction) carry 1/8 of the
+  // root volume each: 8 * (1/2)^3 = 1.
+  int leaves_checked = 0;
+  for (const auto& op : bench.graph.operations()) {
+    if (op.name.rfind("dil", 0) == 0 && op.name != "dil0") {
+      const int idx = std::stoi(op.name.substr(3));
+      if (idx >= 7) {  // the 8 leaves of the depth-3 tree
+        EXPECT_NEAR(outputs[static_cast<std::size_t>(op.id.value)].volume,
+                    1.0, 1e-9)
+            << op.name;
+        ++leaves_checked;
+      }
+    }
+  }
+  EXPECT_EQ(leaves_checked, 8);
+}
+
+}  // namespace
+}  // namespace fbmb

@@ -1,0 +1,178 @@
+#include "schedule/optimal_scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bench_suite/synthetic.hpp"
+#include "graph/graph_builder.hpp"
+#include "schedule/validator.hpp"
+
+namespace fbmb {
+namespace {
+
+constexpr double kEps = 1e-9;
+
+TEST(ReplaySchedule, MatchesEngineOnForcedHeuristicDecisions) {
+  GraphBuilder b;
+  const auto o1 = b.mix("o1", 5, 6.0);
+  const auto o2 = b.mix("o2", 5, 2.0);
+  const auto o3 = b.mix("o3", 4, 2.0);
+  b.dep(o1, o3);
+  b.dep(o2, o3);
+  const Allocation alloc(AllocationSpec{3, 0, 0, 0});
+  const auto heuristic = schedule_bioassay(b.graph(), alloc, b.wash_model());
+  // Replaying the heuristic's own decisions must reproduce it exactly.
+  std::vector<ScheduleDecision> decisions;
+  std::vector<ScheduledOperation> by_start = heuristic.operations;
+  std::sort(by_start.begin(), by_start.end(),
+            [](const auto& a, const auto& b2) {
+              return a.start != b2.start ? a.start < b2.start
+                                         : a.op.value < b2.op.value;
+            });
+  for (const auto& so : by_start) decisions.push_back({so.op, so.component});
+  const auto replayed = replay_schedule(b.graph(), alloc, b.wash_model(),
+                                        SchedulerOptions{}, decisions);
+  EXPECT_NEAR(replayed.completion_time, heuristic.completion_time, kEps);
+  for (const auto& so : heuristic.operations) {
+    EXPECT_EQ(replayed.at(so.op).component, so.component);
+    EXPECT_NEAR(replayed.at(so.op).start, so.start, kEps);
+  }
+  (void)o1; (void)o2; (void)o3;
+}
+
+TEST(ReplaySchedule, InPlaceDerivedFromForcedBinding) {
+  GraphBuilder b;
+  const auto a = b.mix("a", 3, 2.0);
+  const auto c = b.mix("c", 4, 2.0);
+  b.dep(a, c);
+  const Allocation alloc(AllocationSpec{2, 0, 0, 0});
+  const auto s = replay_schedule(
+      b.graph(), alloc, b.wash_model(), {},
+      {{a, ComponentId{0}}, {c, ComponentId{0}}});
+  EXPECT_EQ(s.at(c).in_place_parent, a);
+  EXPECT_DOUBLE_EQ(s.at(c).start, 3.0);  // no transport
+  const auto s2 = replay_schedule(
+      b.graph(), alloc, b.wash_model(), {},
+      {{a, ComponentId{0}}, {c, ComponentId{1}}});
+  EXPECT_FALSE(s2.at(c).consumed_in_place());
+  EXPECT_DOUBLE_EQ(s2.at(c).start, 5.0);  // + t_c
+}
+
+TEST(ReplaySchedule, PartialPrefixAllowed) {
+  GraphBuilder b;
+  const auto a = b.mix("a", 3, 2.0);
+  const auto c = b.mix("c", 4, 2.0);
+  b.dep(a, c);
+  const Allocation alloc(AllocationSpec{1, 0, 0, 0});
+  const auto s = replay_schedule(b.graph(), alloc, b.wash_model(), {},
+                                 {{a, ComponentId{0}}});
+  EXPECT_DOUBLE_EQ(s.completion_time, 3.0);
+  EXPECT_FALSE(s.at(c).component.valid());
+}
+
+TEST(ReplaySchedule, RejectsInvalidDecisions) {
+  GraphBuilder b;
+  const auto a = b.mix("a", 3, 2.0);
+  const auto c = b.detect("c", 4, 0.2);
+  b.dep(a, c);
+  const Allocation alloc(AllocationSpec{1, 0, 0, 1});
+  // Child before parent.
+  EXPECT_THROW(replay_schedule(b.graph(), alloc, b.wash_model(), {},
+                               {{c, ComponentId{1}}}),
+               SchedulingError);
+  // Non-qualified component (detector op on mixer).
+  EXPECT_THROW(replay_schedule(b.graph(), alloc, b.wash_model(), {},
+                               {{a, ComponentId{0}}, {c, ComponentId{0}}}),
+               SchedulingError);
+  // Repeated op.
+  EXPECT_THROW(replay_schedule(b.graph(), alloc, b.wash_model(), {},
+                               {{a, ComponentId{0}}, {a, ComponentId{0}}}),
+               SchedulingError);
+}
+
+TEST(OptimalScheduler, NeverWorseThanHeuristic) {
+  for (std::uint64_t seed : {1ull, 2ull, 3ull, 4ull}) {
+    SyntheticSpec spec;
+    spec.operations = 6;
+    spec.seed = seed;
+    spec.allocation = {2, 1, 1, 1};
+    const auto graph = generate_synthetic_graph(spec);
+    const Allocation alloc(spec.allocation);
+    const WashModel wash;
+    const auto heuristic = schedule_bioassay(graph, alloc, wash);
+    const auto optimal = schedule_optimal(graph, alloc, wash);
+    EXPECT_TRUE(optimal.exhaustive) << "seed " << seed;
+    EXPECT_LE(optimal.schedule.completion_time,
+              heuristic.completion_time + kEps)
+        << "seed " << seed;
+  }
+}
+
+TEST(OptimalScheduler, OptimalScheduleIsValid) {
+  SyntheticSpec spec;
+  spec.operations = 6;
+  spec.seed = 9;
+  spec.allocation = {2, 1, 1, 1};
+  const auto graph = generate_synthetic_graph(spec);
+  const Allocation alloc(spec.allocation);
+  const WashModel wash;
+  const auto optimal = schedule_optimal(graph, alloc, wash);
+  const auto errors = validate_schedule(optimal.schedule, graph, alloc, wash);
+  EXPECT_TRUE(errors.empty()) << (errors.empty() ? "" : errors.front());
+}
+
+TEST(OptimalScheduler, FindsKnownOptimumOnContrivedCase) {
+  // Two independent 10 s mixes + a combining mix on 2 mixers: optimum runs
+  // the leaves in parallel (end 10), transports one output (+2), combine 5
+  // -> 17 total (in place on one leaf mixer).
+  GraphBuilder b;
+  const auto l1 = b.mix("l1", 10, 0.2);
+  const auto l2 = b.mix("l2", 10, 0.2);
+  const auto c = b.mix("c", 5, 0.2);
+  b.dep(l1, c);
+  b.dep(l2, c);
+  const Allocation alloc(AllocationSpec{2, 0, 0, 0});
+  const auto optimal = schedule_optimal(b.graph(), alloc, b.wash_model());
+  EXPECT_TRUE(optimal.exhaustive);
+  EXPECT_NEAR(optimal.schedule.completion_time, 17.0, kEps);
+  (void)l1; (void)l2; (void)c;
+}
+
+TEST(OptimalScheduler, HeuristicGapSmallOnTinySuite) {
+  // Aggregate gap across a small randomized suite: the Algorithm-1
+  // heuristic should be within ~15% of optimal on average.
+  double heuristic_total = 0.0;
+  double optimal_total = 0.0;
+  for (std::uint64_t seed = 10; seed < 22; ++seed) {
+    SyntheticSpec spec;
+    spec.operations = 7;
+    spec.seed = seed;
+    spec.allocation = {2, 1, 1, 1};
+    const auto graph = generate_synthetic_graph(spec);
+    const Allocation alloc(spec.allocation);
+    const WashModel wash;
+    heuristic_total += schedule_bioassay(graph, alloc, wash).completion_time;
+    optimal_total +=
+        schedule_optimal(graph, alloc, wash).schedule.completion_time;
+  }
+  EXPECT_LE(heuristic_total, optimal_total * 1.15);
+  EXPECT_GE(heuristic_total, optimal_total - kEps);
+}
+
+TEST(OptimalScheduler, NodeLimitReturnsBestEffort) {
+  SyntheticSpec spec;
+  spec.operations = 8;
+  spec.seed = 5;
+  spec.allocation = {3, 1, 1, 1};
+  const auto graph = generate_synthetic_graph(spec);
+  const Allocation alloc(spec.allocation);
+  const WashModel wash;
+  const auto limited = schedule_optimal(graph, alloc, wash, {}, 50);
+  EXPECT_FALSE(limited.exhaustive);
+  // Still returns a complete, valid schedule (at worst the heuristic's).
+  const auto errors =
+      validate_schedule(limited.schedule, graph, alloc, wash);
+  EXPECT_TRUE(errors.empty());
+}
+
+}  // namespace
+}  // namespace fbmb

@@ -1,0 +1,127 @@
+#include "place/placement.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace fbmb {
+namespace {
+
+ChipSpec spec_16() {
+  ChipSpec spec;
+  spec.grid_width = 16;
+  spec.grid_height = 16;
+  return spec;
+}
+
+TEST(Placement, FootprintUnrotated) {
+  const Allocation alloc(AllocationSpec{1, 0, 0, 0});  // mixer 4x3
+  Placement p(alloc.size());
+  p.at(ComponentId{0}) = {{2, 3}, false};
+  const Rect fp = p.footprint(ComponentId{0}, alloc);
+  EXPECT_EQ(fp, (Rect{2, 3, 4, 3}));
+}
+
+TEST(Placement, FootprintRotatedSwapsDimensions) {
+  const Allocation alloc(AllocationSpec{1, 0, 0, 0});
+  Placement p(alloc.size());
+  p.at(ComponentId{0}) = {{2, 3}, true};
+  const Rect fp = p.footprint(ComponentId{0}, alloc);
+  EXPECT_EQ(fp, (Rect{2, 3, 3, 4}));
+}
+
+TEST(Placement, LegalPlacementPasses) {
+  const Allocation alloc(AllocationSpec{2, 0, 0, 0});
+  Placement p(alloc.size());
+  p.at(ComponentId{0}) = {{1, 1}, false};
+  p.at(ComponentId{1}) = {{7, 1}, false};
+  EXPECT_TRUE(p.is_legal(alloc, spec_16()));
+  EXPECT_TRUE(p.violations(alloc, spec_16()).empty());
+}
+
+TEST(Placement, OutOfBoundsDetected) {
+  const Allocation alloc(AllocationSpec{1, 0, 0, 0});
+  Placement p(alloc.size());
+  p.at(ComponentId{0}) = {{14, 1}, false};  // 4 wide at x=14 on 16 grid
+  const auto v = p.violations(alloc, spec_16());
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_NE(v[0].find("out of bounds"), std::string::npos);
+}
+
+TEST(Placement, NegativeOriginDetected) {
+  const Allocation alloc(AllocationSpec{1, 0, 0, 0});
+  Placement p(alloc.size());
+  p.at(ComponentId{0}) = {{-1, 0}, false};
+  EXPECT_FALSE(p.is_legal(alloc, spec_16()));
+}
+
+TEST(Placement, OverlapDetected) {
+  const Allocation alloc(AllocationSpec{2, 0, 0, 0});
+  Placement p(alloc.size());
+  p.at(ComponentId{0}) = {{1, 1}, false};
+  p.at(ComponentId{1}) = {{3, 2}, false};
+  const auto v = p.violations(alloc, spec_16());
+  ASSERT_FALSE(v.empty());
+  EXPECT_NE(v[0].find("overlap"), std::string::npos);
+}
+
+TEST(Placement, SpacingViolationDetected) {
+  // Touching footprints violate the 1-cell spacing default.
+  const Allocation alloc(AllocationSpec{2, 0, 0, 0});
+  Placement p(alloc.size());
+  p.at(ComponentId{0}) = {{1, 1}, false};   // covers x 1..4
+  p.at(ComponentId{1}) = {{5, 1}, false};   // adjacent, no gap
+  ChipSpec spec = spec_16();
+  EXPECT_FALSE(p.is_legal(alloc, spec));
+  spec.component_spacing = 0;
+  EXPECT_TRUE(p.is_legal(alloc, spec));
+}
+
+TEST(Placement, SpacingExactlyOneCellIsLegal) {
+  const Allocation alloc(AllocationSpec{2, 0, 0, 0});
+  Placement p(alloc.size());
+  p.at(ComponentId{0}) = {{1, 1}, false};   // covers x 1..4
+  p.at(ComponentId{1}) = {{6, 1}, false};   // one free column at x=5
+  EXPECT_TRUE(p.is_legal(alloc, spec_16()));
+}
+
+TEST(Placement, TotalPairwiseDistance) {
+  const Allocation alloc(AllocationSpec{2, 0, 0, 0});
+  Placement p(alloc.size());
+  p.at(ComponentId{0}) = {{0, 0}, false};   // center (2,1)
+  p.at(ComponentId{1}) = {{10, 0}, false};  // center (12,1)
+  EXPECT_EQ(p.total_pairwise_distance(alloc), 10);
+}
+
+TEST(Placement, AsciiRendering) {
+  const Allocation alloc(AllocationSpec{1, 0, 0, 0});
+  ChipSpec spec;
+  spec.grid_width = 6;
+  spec.grid_height = 4;
+  Placement p(alloc.size());
+  p.at(ComponentId{0}) = {{0, 0}, false};
+  const std::string art = p.to_ascii(alloc, spec);
+  // Bottom row (printed last) holds the footprint marker 'A'.
+  EXPECT_NE(art.find('A'), std::string::npos);
+  EXPECT_NE(art.find('.'), std::string::npos);
+  // 4 lines of 6 characters plus newlines.
+  EXPECT_EQ(art.size(), 4u * 7u);
+}
+
+TEST(Placement, AsciiOverlayMarksFreeCellsOnly) {
+  const Allocation alloc(AllocationSpec{1, 0, 0, 0});
+  ChipSpec spec;
+  spec.grid_width = 6;
+  spec.grid_height = 4;
+  Placement p(alloc.size());
+  p.at(ComponentId{0}) = {{0, 0}, false};  // 4x3 footprint
+  // One overlay cell inside the footprint (hidden), one outside (drawn),
+  // one out of bounds (ignored).
+  const std::string art =
+      p.to_ascii(alloc, spec, {{1, 1}, {5, 3}, {9, 9}}, '+');
+  EXPECT_EQ(std::count(art.begin(), art.end(), '+'), 1);
+  EXPECT_NE(art.find('A'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fbmb

@@ -1,0 +1,110 @@
+#include "route/pressure_ports.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bench_suite/benchmarks.hpp"
+#include "biochip/cost_model.hpp"
+#include "core/synthesis.hpp"
+
+namespace fbmb {
+namespace {
+
+RoutedPath driven(double start, double end, double wash = 0.0) {
+  RoutedPath p;
+  p.start = start;
+  p.transport_end = end;
+  p.cache_until = end;
+  p.wash_duration = wash;
+  return p;
+}
+
+TEST(PressurePorts, EmptyRouting) {
+  const auto a = assign_pressure_ports({});
+  EXPECT_EQ(a.port_count, 0);
+  EXPECT_EQ(a.peak_concurrency, 0);
+  EXPECT_TRUE(a.port_of.empty());
+}
+
+TEST(PressurePorts, DisjointTasksShareOnePort) {
+  RoutingResult routing;
+  routing.paths = {driven(0, 2), driven(2, 4), driven(10, 12)};
+  const auto a = assign_pressure_ports(routing);
+  EXPECT_EQ(a.port_count, 1);
+  EXPECT_EQ(a.peak_concurrency, 1);
+  EXPECT_EQ(a.port_of[0], a.port_of[1]);
+  EXPECT_EQ(a.port_of[1], a.port_of[2]);
+}
+
+TEST(PressurePorts, ConcurrentTasksNeedDistinctPorts) {
+  RoutingResult routing;
+  routing.paths = {driven(0, 4), driven(1, 5), driven(2, 6)};
+  const auto a = assign_pressure_ports(routing);
+  EXPECT_EQ(a.port_count, 3);
+  EXPECT_EQ(a.peak_concurrency, 3);
+  EXPECT_NE(a.port_of[0], a.port_of[1]);
+  EXPECT_NE(a.port_of[1], a.port_of[2]);
+  EXPECT_NE(a.port_of[0], a.port_of[2]);
+}
+
+TEST(PressurePorts, WashWindowExtendsTheDrive) {
+  // Task B's flush starts while A still drives: they overlap only through
+  // the wash window.
+  RoutingResult routing;
+  routing.paths = {driven(0, 4), driven(6, 8, /*wash=*/3.0)};  // B from 3
+  const auto a = assign_pressure_ports(routing);
+  EXPECT_EQ(a.port_count, 2);
+}
+
+TEST(PressurePorts, CacheDwellNeedsNoPressure) {
+  // A long cached plug does not hold the port: B can reuse it.
+  RoutingResult routing;
+  RoutedPath cached = driven(0, 2);
+  cached.cache_until = 100.0;  // parked, not driven
+  routing.paths = {cached, driven(5, 7)};
+  const auto a = assign_pressure_ports(routing);
+  EXPECT_EQ(a.port_count, 1);
+}
+
+TEST(PressurePorts, PortCountEqualsPeakConcurrency) {
+  // Interval-graph coloring: greedy is optimal, port count == clique size.
+  for (const auto& bench : paper_benchmarks()) {
+    const Allocation alloc(bench.allocation);
+    const auto result = synthesize_dcsa(bench.graph, alloc, bench.wash);
+    const auto a = assign_pressure_ports(result.routing);
+    EXPECT_EQ(a.port_count, a.peak_concurrency) << bench.name;
+    // No two tasks on the same port may overlap in their drive windows.
+    const auto& paths = result.routing.paths;
+    for (std::size_t i = 0; i < paths.size(); ++i) {
+      for (std::size_t j = i + 1; j < paths.size(); ++j) {
+        if (a.port_of[i] != a.port_of[j]) continue;
+        const TimeInterval wi{paths[i].start - paths[i].wash_duration,
+                              paths[i].transport_end};
+        const TimeInterval wj{paths[j].start - paths[j].wash_duration,
+                              paths[j].transport_end};
+        EXPECT_FALSE(wi.overlaps(wj)) << bench.name;
+      }
+    }
+  }
+}
+
+TEST(CostModel, BreakdownSumsToTotal) {
+  const CostBreakdown cost = chip_cost(100, 500.0, 20, 8, 4);
+  EXPECT_DOUBLE_EQ(cost.total(), cost.area + cost.channels + cost.valves +
+                                     cost.control_lines +
+                                     cost.pressure_ports);
+  EXPECT_DOUBLE_EQ(cost.area, 0.2 * 100);
+  EXPECT_DOUBLE_EQ(cost.channels, 0.05 * 500.0);
+  EXPECT_DOUBLE_EQ(cost.valves, 20.0);
+  EXPECT_DOUBLE_EQ(cost.control_lines, 16.0);
+  EXPECT_DOUBLE_EQ(cost.pressure_ports, 12.0);
+}
+
+TEST(CostModel, CustomWeights) {
+  CostWeights weights;
+  weights.per_valve = 10.0;
+  const CostBreakdown cost = chip_cost(0, 0.0, 3, 0, 0, weights);
+  EXPECT_DOUBLE_EQ(cost.total(), 30.0);
+}
+
+}  // namespace
+}  // namespace fbmb

@@ -1,0 +1,148 @@
+#include "schedule/retiming.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bench_suite/benchmarks.hpp"
+#include "graph/graph_builder.hpp"
+#include "schedule/list_scheduler.hpp"
+#include "schedule/validator.hpp"
+
+namespace fbmb {
+namespace {
+
+struct Fixture {
+  SequencingGraph graph;
+  Allocation alloc;
+  WashModel wash;
+  Schedule schedule;
+};
+
+/// a (mixer) -> d (detector), plus an independent second mixer chain, so
+/// there are transports to delay and component queues to preserve.
+Fixture simple_fixture() {
+  GraphBuilder b;
+  const auto a = b.mix("a", 3, 2.0);
+  const auto d = b.detect("d", 4, 0.2);
+  const auto e = b.mix("e", 5, 2.0);
+  const auto f = b.detect("f", 2, 0.2);
+  b.dep(a, d);
+  b.dep(e, f);
+  Fixture fx{b.graph(), Allocation({2, 0, 0, 1}), b.wash_model(), {}};
+  fx.schedule = schedule_bioassay(fx.graph, fx.alloc, fx.wash);
+  return fx;
+}
+
+TEST(Retiming, ZeroDelaysLeaveScheduleUntouched) {
+  auto fx = simple_fixture();
+  const Schedule before = fx.schedule;
+  apply_transport_delays(fx.schedule, fx.graph,
+                         std::vector<double>(fx.schedule.transports.size(),
+                                             0.0));
+  for (std::size_t i = 0; i < before.operations.size(); ++i) {
+    EXPECT_DOUBLE_EQ(fx.schedule.operations[i].start,
+                     before.operations[i].start);
+    EXPECT_DOUBLE_EQ(fx.schedule.operations[i].end,
+                     before.operations[i].end);
+  }
+  EXPECT_DOUBLE_EQ(fx.schedule.completion_time, before.completion_time);
+}
+
+TEST(Retiming, DelayedTransportPushesConsumer) {
+  auto fx = simple_fixture();
+  std::vector<double> delays(fx.schedule.transports.size(), 0.0);
+  // Delay the a -> d transport by 5 seconds.
+  std::size_t target = 0;
+  for (std::size_t i = 0; i < fx.schedule.transports.size(); ++i) {
+    if (fx.graph.operation(fx.schedule.transports[i].producer).name == "a") {
+      target = i;
+    }
+  }
+  const double old_start =
+      fx.schedule.at(fx.schedule.transports[target].consumer).start;
+  delays[target] = 5.0;
+  apply_transport_delays(fx.schedule, fx.graph, delays);
+  const auto& t = fx.schedule.transports[target];
+  EXPECT_GE(fx.schedule.at(t.consumer).start, old_start + 5.0 - 1e-9);
+  EXPECT_GE(t.departure + t.transport_time, fx.schedule.at(t.consumer).start - 1e-9);
+  // Still a valid schedule.
+  const auto errors =
+      validate_schedule(fx.schedule, fx.graph, fx.alloc, fx.wash);
+  EXPECT_TRUE(errors.empty()) << (errors.empty() ? "" : errors.front());
+}
+
+TEST(Retiming, NeverMovesOperationsEarlier) {
+  const auto bench = make_cpa();
+  const Allocation alloc(bench.allocation);
+  auto schedule = schedule_bioassay(bench.graph, alloc, bench.wash);
+  const Schedule before = schedule;
+  std::vector<double> delays(schedule.transports.size(), 0.0);
+  for (std::size_t i = 0; i < delays.size(); i += 3) delays[i] = 2.5;
+  apply_transport_delays(schedule, bench.graph, delays);
+  for (std::size_t i = 0; i < before.operations.size(); ++i) {
+    EXPECT_GE(schedule.operations[i].start,
+              before.operations[i].start - 1e-9);
+    EXPECT_NEAR(schedule.operations[i].end - schedule.operations[i].start,
+                before.operations[i].end - before.operations[i].start, 1e-9)
+        << "durations preserved";
+  }
+  EXPECT_GE(schedule.completion_time, before.completion_time - 1e-9);
+}
+
+TEST(Retiming, ResultIsValidOnAllBenchmarks) {
+  for (const auto& bench : paper_benchmarks()) {
+    const Allocation alloc(bench.allocation);
+    for (const auto policy :
+         {BindingPolicy::kDcsa, BindingPolicy::kBaseline}) {
+      SchedulerOptions opts;
+      opts.policy = policy;
+      auto schedule = schedule_bioassay(bench.graph, alloc, bench.wash, opts);
+      std::vector<double> delays(schedule.transports.size(), 0.0);
+      // Delay every other transport by an id-dependent amount.
+      for (std::size_t i = 0; i < delays.size(); ++i) {
+        if (i % 2 == 0) delays[i] = 1.0 + static_cast<double>(i % 5);
+      }
+      apply_transport_delays(schedule, bench.graph, delays);
+      const auto errors =
+          validate_schedule(schedule, bench.graph, alloc, bench.wash);
+      EXPECT_TRUE(errors.empty())
+          << bench.name << ": " << (errors.empty() ? "" : errors.front());
+    }
+  }
+}
+
+TEST(Retiming, WashWindowsSurviveDepartureDelays) {
+  // Regression for the interaction found during bring-up: delaying the
+  // departure of a fluid whose component is reused later must push the
+  // next operation past the (departure + wash) point, not just preserve
+  // the original end-to-start gap.
+  GraphBuilder b;
+  const auto o1 = b.mix("o1", 3, 4.0);   // slow wash
+  const auto o2 = b.mix("o2", 3, 0.2);   // reuses the mixer after o1
+  const auto o3 = b.mix("o3", 2, 0.2);   // consumer of o1 via transport
+  b.dep(o1, o3);
+  b.dep(o2, o3);
+  const Allocation alloc(AllocationSpec{2, 0, 0, 0});
+  auto schedule = schedule_bioassay(b.graph(), alloc, b.wash_model());
+  std::vector<double> delays(schedule.transports.size(), 0.0);
+  for (std::size_t i = 0; i < schedule.transports.size(); ++i) {
+    if (schedule.transports[i].producer == o1) delays[i] = 6.0;
+  }
+  apply_transport_delays(schedule, b.graph(), delays);
+  const auto errors =
+      validate_schedule(schedule, b.graph(), alloc, b.wash_model());
+  EXPECT_TRUE(errors.empty()) << (errors.empty() ? "" : errors.front());
+}
+
+TEST(Retiming, CompletionTimeRecomputed) {
+  auto fx = simple_fixture();
+  std::vector<double> delays(fx.schedule.transports.size(), 10.0);
+  apply_transport_delays(fx.schedule, fx.graph, delays);
+  double max_end = 0.0;
+  for (const auto& so : fx.schedule.operations) {
+    max_end = std::max(max_end, so.end);
+  }
+  EXPECT_DOUBLE_EQ(fx.schedule.completion_time, max_end);
+}
+
+}  // namespace
+}  // namespace fbmb

@@ -1,0 +1,100 @@
+// Parameterized routing properties: for every paper benchmark and both
+// router modes, the routed result re-validates from scratch (connectivity,
+// port endpoints, temporal exclusion including wash and cache intervals).
+
+#include <gtest/gtest.h>
+
+#include "bench_suite/benchmarks.hpp"
+#include "place/constructive_placer.hpp"
+#include "place/sa_placer.hpp"
+#include "route/router.hpp"
+#include "route/validator.hpp"
+#include "schedule/list_scheduler.hpp"
+#include "schedule/retiming.hpp"
+
+namespace fbmb {
+namespace {
+
+enum class Mode { kOursConflictAware, kBaselinePostpone };
+
+class RouterPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, Mode>> {};
+
+constexpr const char* kNames[] = {"PCR",        "IVD",        "CPA",
+                                  "Synthetic1", "Synthetic2", "Synthetic3",
+                                  "Synthetic4"};
+
+TEST_P(RouterPropertyTest, RoutedResultRevalidates) {
+  const auto& [index, mode] = GetParam();
+  const auto benches = paper_benchmarks();
+  const Benchmark& bench = benches[static_cast<std::size_t>(index)];
+  const Allocation alloc(bench.allocation);
+
+  SchedulerOptions sched_opts;
+  sched_opts.policy = mode == Mode::kOursConflictAware
+                          ? BindingPolicy::kDcsa
+                          : BindingPolicy::kBaseline;
+  sched_opts.refine_storage = mode == Mode::kOursConflictAware;
+  Schedule schedule =
+      schedule_bioassay(bench.graph, alloc, bench.wash, sched_opts);
+
+  const ChipSpec chip = derive_grid(ChipSpec{}, allocation_area(alloc, 1));
+  const Placement placement =
+      mode == Mode::kOursConflictAware
+          ? place_components(alloc, schedule, bench.wash, chip, {})
+          : place_components_baseline(alloc, schedule, chip, {});
+
+  RouterOptions router_opts;
+  router_opts.wash_aware_weights = mode == Mode::kOursConflictAware;
+  router_opts.conflict_aware = true;
+
+  // Iterate routing + retiming to a consistent fixed point, exactly like
+  // the synthesis flow does.
+  RoutingResult result;
+  for (int round = 0; round < 20; ++round) {
+    RoutingGrid grid(chip, alloc, placement);
+    result = route_transports(grid, schedule, bench.wash, router_opts);
+    const bool any = std::any_of(result.delays.begin(), result.delays.end(),
+                                 [](double d) { return d > 0.0; });
+    if (!any) break;
+    apply_transport_delays(schedule, bench.graph, result.delays);
+  }
+
+  RoutingGrid fresh(chip, alloc, placement);
+  const auto errors = validate_routing(result, schedule, fresh, bench.wash);
+  EXPECT_TRUE(errors.empty())
+      << bench.name << ": " << (errors.empty() ? "" : errors.front());
+
+  // Physical sanity: every transport routed, lengths positive for
+  // cross-component moves, wash times non-negative.
+  EXPECT_EQ(result.paths.size(), schedule.transports.size());
+  for (const auto& path : result.paths) {
+    const auto& t =
+        schedule.transports[static_cast<std::size_t>(path.transport_id)];
+    // A cross-component path has at least one channel cell; adjacent
+    // components can legitimately share a single port cell.
+    EXPECT_GE(path.cells.size(), 1u);
+    if (t.from == t.to) {
+      EXPECT_EQ(path.cells.size(), 1u);
+    }
+    EXPECT_GE(path.wash_duration, 0.0);
+    EXPECT_GE(path.delay, 0.0);
+  }
+  EXPECT_GE(result.total_wash_time, 0.0);
+  EXPECT_GE(result.distinct_channel_edges(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperBenchmarks, RouterPropertyTest,
+    ::testing::Combine(::testing::Range(0, 7),
+                       ::testing::Values(Mode::kOursConflictAware,
+                                         Mode::kBaselinePostpone)),
+    [](const ::testing::TestParamInfo<RouterPropertyTest::ParamType>& info) {
+      const int index = std::get<0>(info.param);
+      const Mode mode = std::get<1>(info.param);
+      return std::string(kNames[index]) +
+             (mode == Mode::kOursConflictAware ? "_ours" : "_ba");
+    });
+
+}  // namespace
+}  // namespace fbmb

@@ -1,0 +1,117 @@
+#include "route/grid.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fbmb {
+namespace {
+
+struct GridFixture {
+  Allocation alloc{AllocationSpec{2, 0, 0, 0}};
+  ChipSpec chip;
+  Placement placement{2};
+
+  GridFixture() {
+    chip.grid_width = 16;
+    chip.grid_height = 16;
+    placement.at(ComponentId{0}) = {{1, 1}, false};  // mixer 4x3: x1..4,y1..3
+    placement.at(ComponentId{1}) = {{9, 9}, false};
+  }
+};
+
+TEST(RoutingGrid, BlocksComponentFootprints) {
+  GridFixture fx;
+  RoutingGrid grid(fx.chip, fx.alloc, fx.placement);
+  EXPECT_TRUE(grid.blocked({1, 1}));
+  EXPECT_TRUE(grid.blocked({4, 3}));   // inside 4x3 footprint
+  EXPECT_FALSE(grid.blocked({5, 1}));  // just outside
+  EXPECT_FALSE(grid.blocked({0, 0}));
+  EXPECT_TRUE(grid.blocked({9, 9}));
+}
+
+TEST(RoutingGrid, DimensionsAndBounds) {
+  GridFixture fx;
+  RoutingGrid grid(fx.chip, fx.alloc, fx.placement);
+  EXPECT_EQ(grid.width(), 16);
+  EXPECT_EQ(grid.height(), 16);
+  EXPECT_TRUE(grid.in_bounds({0, 0}));
+  EXPECT_TRUE(grid.in_bounds({15, 15}));
+  EXPECT_FALSE(grid.in_bounds({16, 0}));
+  EXPECT_FALSE(grid.in_bounds({0, -1}));
+}
+
+TEST(RoutingGrid, InitialWeightsAreWe) {
+  GridFixture fx;
+  fx.chip.initial_cell_weight = 7.5;
+  RoutingGrid grid(fx.chip, fx.alloc, fx.placement);
+  EXPECT_DOUBLE_EQ(grid.cell({0, 0}).weight, 7.5);
+  EXPECT_DOUBLE_EQ(grid.cell({15, 15}).weight, 7.5);
+}
+
+TEST(RoutingGrid, PortsSurroundFootprint) {
+  GridFixture fx;
+  RoutingGrid grid(fx.chip, fx.alloc, fx.placement);
+  const auto ports = grid.ports(ComponentId{0});
+  // 4x3 footprint at (1,1): perimeter ring of 2*(4+3)=14 cells, all free.
+  EXPECT_EQ(ports.size(), 14u);
+  for (const Point& p : ports) {
+    EXPECT_FALSE(grid.blocked(p));
+    // Each port is 4-adjacent to the footprint.
+    const Rect fp = fx.placement.footprint(ComponentId{0}, fx.alloc);
+    const bool adjacent = fp.contains(Point{p.x + 1, p.y}) ||
+                          fp.contains(Point{p.x - 1, p.y}) ||
+                          fp.contains(Point{p.x, p.y + 1}) ||
+                          fp.contains(Point{p.x, p.y - 1});
+    EXPECT_TRUE(adjacent) << to_string(p);
+  }
+}
+
+TEST(RoutingGrid, PortsClippedAtChipEdge) {
+  GridFixture fx;
+  fx.placement.at(ComponentId{0}) = {{0, 0}, false};  // flush corner
+  RoutingGrid grid(fx.chip, fx.alloc, fx.placement);
+  const auto ports = grid.ports(ComponentId{0});
+  // Only the top and right sides provide ports: 4 + 3.
+  EXPECT_EQ(ports.size(), 7u);
+}
+
+TEST(RoutingGrid, NeighborsFourConnected) {
+  GridFixture fx;
+  RoutingGrid grid(fx.chip, fx.alloc, fx.placement);
+  EXPECT_EQ(grid.neighbors({8, 8}).size(), 4u);
+  EXPECT_EQ(grid.neighbors({0, 0}).size(), 2u);
+  EXPECT_EQ(grid.neighbors({0, 8}).size(), 3u);
+}
+
+TEST(RoutingGrid, WashNeededDependsOnResidue) {
+  GridFixture fx;
+  RoutingGrid grid(fx.chip, fx.alloc, fx.placement);
+  const WashModel wash;
+  const Fluid fast{"buffer", 1e-5};
+  const Fluid slow{"cells", 5e-8};
+  const Point p{8, 8};
+  // Clean cell: nothing to wash.
+  EXPECT_DOUBLE_EQ(grid.wash_needed(p, fast, wash), 0.0);
+  grid.cell(p).residue = slow;
+  // Foreign residue: wash time of the residue (6 s for D = 5e-8).
+  EXPECT_DOUBLE_EQ(grid.wash_needed(p, fast, wash), 6.0);
+  // Same fluid: no wash.
+  EXPECT_DOUBLE_EQ(grid.wash_needed(p, slow, wash), 0.0);
+}
+
+TEST(RoutingGrid, ThrowsOnUnfixedGrid) {
+  GridFixture fx;
+  ChipSpec bad;
+  EXPECT_THROW(RoutingGrid(bad, fx.alloc, fx.placement),
+               std::invalid_argument);
+}
+
+TEST(RoutingGrid, OccupancyIsPerCell) {
+  GridFixture fx;
+  RoutingGrid grid(fx.chip, fx.alloc, fx.placement);
+  EXPECT_TRUE(grid.cell({6, 6}).occupancy.insert_disjoint({0.0, 5.0}));
+  EXPECT_FALSE(grid.cell({6, 6}).occupancy.insert_disjoint({4.0, 6.0}));
+  EXPECT_TRUE(grid.cell({7, 6}).occupancy.insert_disjoint({4.0, 6.0}));
+}
+
+}  // namespace
+}  // namespace fbmb

@@ -1,0 +1,115 @@
+#include "place/sa_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace fbmb {
+namespace {
+
+TEST(SaEngine, MinimizesQuadratic) {
+  // f(x) = (x - 3)^2 over integers; SA must land at/near x = 3.
+  Rng rng(1);
+  SaOptions opts;
+  opts.initial_temperature = 100.0;
+  opts.min_temperature = 0.01;
+  opts.cooling_rate = 0.9;
+  opts.iterations_per_temperature = 50;
+  auto [best, stats] = anneal(
+      100,
+      [](int x) { return static_cast<double>((x - 3) * (x - 3)); },
+      [](int x, Rng& r) -> std::optional<int> {
+        return x + r.uniform_int(-5, 5);
+      },
+      opts, rng);
+  EXPECT_EQ(best, 3);
+  EXPECT_DOUBLE_EQ(stats.best_energy, 0.0);
+  EXPECT_GT(stats.acceptances, 0);
+}
+
+TEST(SaEngine, ReturnsBestEverVisitedNotFinal) {
+  // Energy that keeps wandering: the engine must remember the best state.
+  Rng rng(7);
+  SaOptions opts;
+  opts.initial_temperature = 1000.0;  // stays hot the whole run
+  opts.min_temperature = 500.0;
+  opts.cooling_rate = 0.9;
+  opts.iterations_per_temperature = 200;
+  auto [best, stats] = anneal(
+      50, [](int x) { return std::abs(x - 7.0); },
+      [](int x, Rng& r) -> std::optional<int> {
+        return x + r.uniform_int(-3, 3);
+      },
+      opts, rng);
+  EXPECT_DOUBLE_EQ(std::abs(best - 7.0), stats.best_energy);
+}
+
+TEST(SaEngine, InfeasibleProposalsAreSkipped) {
+  Rng rng(3);
+  SaOptions opts;
+  opts.initial_temperature = 10.0;
+  opts.min_temperature = 1.0;
+  opts.cooling_rate = 0.5;
+  opts.iterations_per_temperature = 10;
+  int proposals_made = 0;
+  auto [best, stats] = anneal(
+      0, [](int x) { return static_cast<double>(x); },
+      [&](int, Rng&) -> std::optional<int> {
+        ++proposals_made;
+        return std::nullopt;  // everything infeasible
+      },
+      opts, rng);
+  EXPECT_EQ(best, 0);               // unchanged
+  EXPECT_EQ(stats.acceptances, 0);
+  EXPECT_GT(proposals_made, 0);
+  EXPECT_EQ(stats.proposals, proposals_made);
+}
+
+TEST(SaEngine, DeterministicForSeed) {
+  SaOptions opts;
+  opts.initial_temperature = 100.0;
+  opts.min_temperature = 0.1;
+  auto run = [&](std::uint64_t seed) {
+    Rng rng(seed);
+    return anneal(
+               1000, [](int x) { return std::abs(x + 17.0); },
+               [](int x, Rng& r) -> std::optional<int> {
+                 return x + r.uniform_int(-10, 10);
+               },
+               opts, rng)
+        .first;
+  };
+  EXPECT_EQ(run(5), run(5));
+}
+
+TEST(SaEngine, TemperatureCountMatchesSchedule) {
+  // proposals == iterations_per_temperature * number of temperature steps.
+  Rng rng(9);
+  SaOptions opts;
+  opts.initial_temperature = 8.0;
+  opts.min_temperature = 1.0;
+  opts.cooling_rate = 0.5;  // 8 -> 4 -> 2 -> (1 stops): 3 levels
+  opts.iterations_per_temperature = 25;
+  auto [best, stats] = anneal(
+      0, [](int) { return 0.0; },
+      [](int x, Rng&) -> std::optional<int> { return x; }, opts, rng);
+  EXPECT_EQ(stats.proposals, 3 * 25);
+}
+
+TEST(SaEngine, AcceptsUphillWhenHot) {
+  // At very high temperature nearly everything is accepted.
+  Rng rng(11);
+  SaOptions opts;
+  opts.initial_temperature = 1e9;
+  opts.min_temperature = 1e8;
+  opts.cooling_rate = 0.5;
+  opts.iterations_per_temperature = 100;
+  auto [best, stats] = anneal(
+      0, [](int x) { return static_cast<double>(x); },
+      [](int x, Rng&) -> std::optional<int> { return x + 1; },  // always worse
+      opts, rng);
+  EXPECT_GT(stats.acceptances, 300);  // ~all of 400 accepted
+}
+
+}  // namespace
+}  // namespace fbmb

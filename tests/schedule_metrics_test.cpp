@@ -1,0 +1,124 @@
+#include "schedule/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bench_suite/benchmarks.hpp"
+#include "graph/graph_builder.hpp"
+#include "schedule/list_scheduler.hpp"
+
+namespace fbmb {
+namespace {
+
+/// Hand-built schedule for exact Eq. 1 arithmetic.
+Schedule manual_schedule() {
+  Schedule s;
+  s.operations = {
+      // c0: busy [0,4) and [6,8) over span [0,8) -> 6/8
+      {OperationId{0}, ComponentId{0}, 0.0, 4.0, kNoOperation},
+      {OperationId{1}, ComponentId{0}, 6.0, 8.0, kNoOperation},
+      // c1: busy [2,5) over span [2,5) -> 3/3 = 1
+      {OperationId{2}, ComponentId{1}, 2.0, 5.0, kNoOperation},
+  };
+  s.completion_time = 8.0;
+  return s;
+}
+
+TEST(ResourceUtilization, MatchesEquationOne) {
+  const Allocation alloc(AllocationSpec{2, 0, 0, 0});
+  // (6/8 + 1) / 2 = 0.875
+  EXPECT_DOUBLE_EQ(resource_utilization(manual_schedule(), alloc), 0.875);
+}
+
+TEST(ResourceUtilization, IdleComponentContributesZero) {
+  const Allocation alloc(AllocationSpec{3, 0, 0, 0});  // c2 unused
+  // (6/8 + 1 + 0) / 3
+  EXPECT_DOUBLE_EQ(resource_utilization(manual_schedule(), alloc),
+                   (0.75 + 1.0) / 3.0);
+}
+
+TEST(ResourceUtilization, EmptyAllocation) {
+  EXPECT_DOUBLE_EQ(resource_utilization(Schedule{}, Allocation{}), 0.0);
+}
+
+TEST(ResourceUtilization, ZeroDurationOperationContributesNothing) {
+  // Zero-duration operations are rejected by graph validation; if one
+  // sneaks into a hand-built schedule it counts as no busy time.
+  Schedule s;
+  s.operations = {{OperationId{0}, ComponentId{0}, 3.0, 3.0, kNoOperation}};
+  const Allocation alloc(AllocationSpec{1, 0, 0, 0});
+  EXPECT_DOUBLE_EQ(resource_utilization(s, alloc), 0.0);
+}
+
+TEST(ResourceUtilization, FullyBusyComponentIsOne) {
+  Schedule s;
+  s.operations = {{OperationId{0}, ComponentId{0}, 0.0, 10.0, kNoOperation}};
+  const Allocation alloc(AllocationSpec{1, 0, 0, 0});
+  EXPECT_DOUBLE_EQ(resource_utilization(s, alloc), 1.0);
+}
+
+TEST(TransportTask, CacheTimeClampsAtZero) {
+  TransportTask t;
+  t.departure = 0.0;
+  t.transport_time = 2.0;
+  t.consume = 5.0;
+  EXPECT_DOUBLE_EQ(t.cache_time(), 3.0);
+  t.consume = 2.0;
+  EXPECT_DOUBLE_EQ(t.cache_time(), 0.0);
+  EXPECT_DOUBLE_EQ(t.arrival(), 2.0);
+}
+
+TEST(Schedule, TotalCacheTimeSums) {
+  Schedule s;
+  TransportTask a;
+  a.departure = 0.0;
+  a.transport_time = 2.0;
+  a.consume = 5.0;  // 3 s cache
+  TransportTask b = a;
+  b.consume = 2.0;  // 0 s cache
+  s.transports = {a, b};
+  EXPECT_DOUBLE_EQ(s.total_cache_time(), 3.0);
+}
+
+TEST(Schedule, TotalComponentWashTime) {
+  Schedule s;
+  s.component_washes = {
+      {ComponentId{0}, OperationId{0}, Fluid{}, 1.0, 3.0},
+      {ComponentId{1}, OperationId{1}, Fluid{}, 5.0, 5.5},
+  };
+  EXPECT_DOUBLE_EQ(s.total_component_wash_time(), 2.5);
+}
+
+TEST(ScheduleStats, CountsEvictionsAndInPlace) {
+  GraphBuilder builder;
+  const auto o1 = builder.mix("o1", 3, 0.2);
+  const auto o2 = builder.mix("o2", 20, 2.0);
+  const auto o3 = builder.mix("o3", 2, 0.2);
+  builder.dep(o2, o3);
+  builder.dep(o1, o3);
+  const Allocation alloc(AllocationSpec{1, 0, 0, 0});
+  const auto schedule =
+      schedule_bioassay(builder.graph(), alloc, builder.wash_model());
+  const auto stats = compute_schedule_stats(schedule, alloc);
+  EXPECT_EQ(stats.transport_count, 1);
+  EXPECT_EQ(stats.eviction_count, 1);
+  EXPECT_EQ(stats.in_place_count, 1);  // o3 consumes out(o2) in place
+  EXPECT_DOUBLE_EQ(stats.completion_time, schedule.completion_time);
+  EXPECT_GT(stats.utilization, 0.0);
+}
+
+TEST(ScheduleStats, MatchesIndividualMetrics) {
+  const auto bench = make_cpa();
+  const Allocation alloc(bench.allocation);
+  const auto schedule = schedule_bioassay(bench.graph, alloc, bench.wash);
+  const auto stats = compute_schedule_stats(schedule, alloc);
+  EXPECT_DOUBLE_EQ(stats.total_cache_time, schedule.total_cache_time());
+  EXPECT_DOUBLE_EQ(stats.component_wash_time,
+                   schedule.total_component_wash_time());
+  EXPECT_DOUBLE_EQ(stats.utilization,
+                   resource_utilization(schedule, alloc));
+  EXPECT_EQ(stats.transport_count,
+            static_cast<int>(schedule.transports.size()));
+}
+
+}  // namespace
+}  // namespace fbmb

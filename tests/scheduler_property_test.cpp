@@ -1,0 +1,155 @@
+// Parameterized property suite: every schedule the library produces — for
+// both binding policies, across benchmark and synthetic inputs — satisfies
+// the full invariant set re-derived by validate_schedule.
+
+#include <gtest/gtest.h>
+
+#include "bench_suite/benchmarks.hpp"
+#include "bench_suite/synthetic.hpp"
+#include "schedule/list_scheduler.hpp"
+#include "schedule/metrics.hpp"
+#include "schedule/validator.hpp"
+
+namespace fbmb {
+namespace {
+
+struct Case {
+  std::string name;
+  int operations;
+  std::uint64_t seed;
+  AllocationSpec allocation;
+};
+
+class SchedulerPropertyTest
+    : public ::testing::TestWithParam<std::tuple<Case, BindingPolicy>> {};
+
+std::vector<Case> synthetic_cases() {
+  std::vector<Case> cases;
+  int idx = 0;
+  for (int ops : {5, 12, 25, 40, 60}) {
+    for (std::uint64_t seed : {11ull, 22ull, 33ull}) {
+      Case c;
+      c.name = "ops" + std::to_string(ops) + "_seed" + std::to_string(seed);
+      c.operations = ops;
+      c.seed = seed;
+      // Cycle through allocation shapes, always covering all four types.
+      switch (idx++ % 3) {
+        case 0: c.allocation = {3, 1, 1, 1}; break;
+        case 1: c.allocation = {2, 2, 2, 2}; break;
+        default: c.allocation = {5, 1, 2, 1}; break;
+      }
+      cases.push_back(c);
+    }
+  }
+  return cases;
+}
+
+TEST_P(SchedulerPropertyTest, ScheduleSatisfiesAllInvariants) {
+  const auto& [c, policy] = GetParam();
+  SyntheticSpec spec;
+  spec.operations = c.operations;
+  spec.seed = c.seed;
+  spec.allocation = c.allocation;
+  const SequencingGraph graph = generate_synthetic_graph(spec);
+  const Allocation alloc(c.allocation);
+  const WashModel wash;
+
+  SchedulerOptions opts;
+  opts.policy = policy;
+  opts.refine_storage = policy == BindingPolicy::kDcsa;
+  const Schedule schedule = schedule_bioassay(graph, alloc, wash, opts);
+
+  const auto errors = validate_schedule(schedule, graph, alloc, wash);
+  EXPECT_TRUE(errors.empty())
+      << c.name << ": " << (errors.empty() ? "" : errors.front());
+
+  // Every dependency edge is either in place or has exactly one transport.
+  std::size_t in_place = 0;
+  for (const auto& so : schedule.operations) {
+    if (so.consumed_in_place()) ++in_place;
+  }
+  EXPECT_EQ(schedule.transports.size() + in_place, graph.dependency_count());
+
+  // Cache times are non-negative by construction.
+  for (const auto& t : schedule.transports) {
+    EXPECT_GE(t.cache_time(), 0.0);
+    EXPECT_GE(t.departure_deadline, t.departure - 1e-9);
+  }
+
+  // Utilization is a proper ratio.
+  const double ur = resource_utilization(schedule, alloc);
+  EXPECT_GE(ur, 0.0);
+  EXPECT_LE(ur, 1.0 + 1e-9);
+}
+
+TEST_P(SchedulerPropertyTest, TransportTimeScalesMonotonically) {
+  const auto& [c, policy] = GetParam();
+  SyntheticSpec spec;
+  spec.operations = c.operations;
+  spec.seed = c.seed;
+  spec.allocation = c.allocation;
+  const SequencingGraph graph = generate_synthetic_graph(spec);
+  const Allocation alloc(c.allocation);
+  const WashModel wash;
+
+  SchedulerOptions fast;
+  fast.policy = policy;
+  fast.transport_time = 1.0;
+  SchedulerOptions slow;
+  slow.policy = policy;
+  slow.transport_time = 4.0;
+  const auto s_fast = schedule_bioassay(graph, alloc, wash, fast);
+  const auto s_slow = schedule_bioassay(graph, alloc, wash, slow);
+  // Slower transports cannot make the assay finish sooner.
+  EXPECT_LE(s_fast.completion_time, s_slow.completion_time + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Synthetic, SchedulerPropertyTest,
+    ::testing::Combine(::testing::ValuesIn(synthetic_cases()),
+                       ::testing::Values(BindingPolicy::kDcsa,
+                                         BindingPolicy::kBaseline)),
+    [](const ::testing::TestParamInfo<SchedulerPropertyTest::ParamType>&
+           info) {
+      const Case& c = std::get<0>(info.param);
+      const BindingPolicy policy = std::get<1>(info.param);
+      return c.name + (policy == BindingPolicy::kDcsa ? "_dcsa" : "_ba");
+    });
+
+class PaperBenchmarkScheduleTest
+    : public ::testing::TestWithParam<std::tuple<int, BindingPolicy>> {};
+
+constexpr const char* kNames[] = {"PCR",        "IVD",        "CPA",
+                                  "Synthetic1", "Synthetic2", "Synthetic3",
+                                  "Synthetic4"};
+
+TEST_P(PaperBenchmarkScheduleTest, ValidOnPaperBenchmarks) {
+  const auto& [index, policy] = GetParam();
+  const auto benches = paper_benchmarks();
+  const Benchmark& bench = benches[static_cast<std::size_t>(index)];
+  const Allocation alloc(bench.allocation);
+  SchedulerOptions opts;
+  opts.policy = policy;
+  const Schedule schedule =
+      schedule_bioassay(bench.graph, alloc, bench.wash, opts);
+  const auto errors =
+      validate_schedule(schedule, bench.graph, alloc, bench.wash);
+  EXPECT_TRUE(errors.empty())
+      << bench.name << ": " << (errors.empty() ? "" : errors.front());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSeven, PaperBenchmarkScheduleTest,
+    ::testing::Combine(::testing::Range(0, 7),
+                       ::testing::Values(BindingPolicy::kDcsa,
+                                         BindingPolicy::kBaseline)),
+    [](const ::testing::TestParamInfo<PaperBenchmarkScheduleTest::ParamType>&
+           info) {
+      const int index = std::get<0>(info.param);
+      const BindingPolicy policy = std::get<1>(info.param);
+      return std::string(kNames[index]) +
+             (policy == BindingPolicy::kDcsa ? "_dcsa" : "_ba");
+    });
+
+}  // namespace
+}  // namespace fbmb

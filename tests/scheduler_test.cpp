@@ -1,0 +1,320 @@
+#include "schedule/list_scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bench_suite/benchmarks.hpp"
+#include "graph/graph_builder.hpp"
+#include "schedule/validator.hpp"
+
+namespace fbmb {
+namespace {
+
+Schedule run(const GraphBuilder& b, const AllocationSpec& spec,
+             SchedulerOptions opts = {}) {
+  return schedule_bioassay(b.graph(), Allocation(spec), b.wash_model(), opts);
+}
+
+void expect_valid(const GraphBuilder& b, const AllocationSpec& spec,
+                  const Schedule& s) {
+  const auto errors =
+      validate_schedule(s, b.graph(), Allocation(spec), b.wash_model());
+  EXPECT_TRUE(errors.empty()) << errors.front();
+}
+
+TEST(Scheduler, SingleOperation) {
+  GraphBuilder b;
+  b.mix("a", 5, 2.0);
+  const auto s = run(b, {1, 0, 0, 0});
+  EXPECT_DOUBLE_EQ(s.completion_time, 5.0);
+  EXPECT_DOUBLE_EQ(s.at(OperationId{0}).start, 0.0);
+  EXPECT_TRUE(s.transports.empty());
+  expect_valid(b, {1, 0, 0, 0}, s);
+}
+
+TEST(Scheduler, ChainOnOneMixerRunsInPlace) {
+  // a -> b -> c on a single mixer: every hand-off is in place, no
+  // transports, no washes, completion = sum of durations.
+  GraphBuilder b;
+  const auto a = b.mix("a", 3, 2.0);
+  const auto c = b.mix("c", 4, 2.0);
+  const auto d = b.mix("d", 5, 2.0);
+  b.chain(a, c, d);
+  const auto s = run(b, {1, 0, 0, 0});
+  EXPECT_DOUBLE_EQ(s.completion_time, 12.0);
+  EXPECT_TRUE(s.transports.empty());
+  EXPECT_TRUE(s.component_washes.empty());
+  EXPECT_TRUE(s.at(c).consumed_in_place());
+  EXPECT_TRUE(s.at(d).consumed_in_place());
+  expect_valid(b, {1, 0, 0, 0}, s);
+}
+
+TEST(Scheduler, TransportAddsConstantTime) {
+  // a (mixer) -> d (detector): out(a) must move, costing t_c.
+  GraphBuilder b;
+  const auto a = b.mix("a", 3, 2.0);
+  const auto d = b.detect("d", 4, 0.2);
+  b.dep(a, d);
+  SchedulerOptions opts;
+  opts.transport_time = 2.0;
+  const auto s = run(b, {1, 0, 0, 1}, opts);
+  EXPECT_DOUBLE_EQ(s.at(d).start, 5.0);  // 3 + t_c
+  EXPECT_DOUBLE_EQ(s.completion_time, 9.0);
+  ASSERT_EQ(s.transports.size(), 1u);
+  EXPECT_DOUBLE_EQ(s.transports[0].departure, 3.0);
+  EXPECT_DOUBLE_EQ(s.transports[0].consume, 5.0);
+  EXPECT_DOUBLE_EQ(s.transports[0].cache_time(), 0.0);
+  expect_valid(b, {1, 0, 0, 1}, s);
+}
+
+TEST(Scheduler, CustomTransportTime) {
+  GraphBuilder b;
+  const auto a = b.mix("a", 3, 2.0);
+  const auto d = b.detect("d", 4, 0.2);
+  b.dep(a, d);
+  SchedulerOptions opts;
+  opts.transport_time = 5.0;
+  const auto s = run(b, {1, 0, 0, 1}, opts);
+  EXPECT_DOUBLE_EQ(s.at(d).start, 8.0);
+}
+
+TEST(Scheduler, WashGapBetweenForeignOperations) {
+  // Two independent mixes forced onto one mixer: the second waits for the
+  // first fluid to leave (departure to its consumer) plus the wash.
+  GraphBuilder b;
+  const auto a = b.mix("a", 3, 4.0);   // wash 4 s
+  const auto c = b.mix("c", 3, 2.0);   // independent
+  const auto da = b.detect("da", 1, 0.2);
+  const auto dc = b.detect("dc", 1, 0.2);
+  b.dep(a, da);
+  b.dep(c, dc);
+  const auto s = run(b, {1, 0, 0, 2});
+  const auto& first = s.at(a).start < s.at(c).start ? s.at(a) : s.at(c);
+  const auto& second = s.at(a).start < s.at(c).start ? s.at(c) : s.at(a);
+  // Second mix starts after first's fluid is out + wash: the wash of the
+  // first-scheduled fluid is 4.0 or 2.0 depending on priority order.
+  EXPECT_GE(second.start, first.end);
+  ASSERT_EQ(s.component_washes.size(), 1u);
+  EXPECT_GE(second.start, s.component_washes[0].end - 1e-9);
+  expect_valid(b, {1, 0, 0, 2}, s);
+}
+
+TEST(Scheduler, Fig5CaseIPicksLowestDiffusionParent) {
+  // Fig. 5: o1 on Mixer1 (wash 6 s fluid = low diffusion), o2 on Mixer2
+  // (wash 2 s fluid). o3 consumes both; Case I must bind o3 to Mixer1 so
+  // the expensive residue is consumed instead of washed.
+  GraphBuilder b;
+  const auto o1 = b.mix("o1", 5, 6.0);
+  const auto o2 = b.mix("o2", 5, 2.0);
+  const auto o3 = b.mix("o3", 4, 2.0);
+  b.dep(o1, o3);
+  b.dep(o2, o3);
+  const auto s = run(b, {3, 0, 0, 0});
+  EXPECT_EQ(s.at(o3).component, s.at(o1).component);
+  EXPECT_EQ(s.at(o3).in_place_parent, o1);
+  // Only o2's output is transported.
+  ASSERT_EQ(s.transports.size(), 1u);
+  EXPECT_EQ(s.transports[0].producer, o2);
+  expect_valid(b, {3, 0, 0, 0}, s);
+}
+
+TEST(Scheduler, Fig5BaselineMayPickEitherParent) {
+  // The baseline binds by ready time only; with both parents ending
+  // simultaneously it picks the lower component id, not the lower
+  // diffusion coefficient.
+  GraphBuilder b;
+  const auto o1 = b.mix("o1", 5, 2.0);   // cheap wash on Mixer1
+  const auto o2 = b.mix("o2", 5, 6.0);   // expensive wash on Mixer2
+  const auto o3 = b.mix("o3", 4, 2.0);
+  b.dep(o1, o3);
+  b.dep(o2, o3);
+  SchedulerOptions opts;
+  opts.policy = BindingPolicy::kBaseline;
+  const auto s = run(b, {3, 0, 0, 0}, opts);
+  // Earliest-ready binding goes to the third, still-idle mixer (ready at
+  // t=0) and pays two transports — even though the DCSA strategy would
+  // reuse Mixer2 in place (out(o2) has the lower diffusion coefficient).
+  EXPECT_NE(s.at(o3).component, s.at(o1).component);
+  EXPECT_NE(s.at(o3).component, s.at(o2).component);
+  EXPECT_FALSE(s.at(o3).consumed_in_place());
+  const auto dcsa = run(b, {3, 0, 0, 0});
+  EXPECT_EQ(dcsa.at(o3).component, dcsa.at(o2).component);
+}
+
+TEST(Scheduler, Fig6CaseIIPicksEarliestReadyComponent) {
+  // Fig. 6: when no parent fluid remains in place, bind to the component
+  // with the earliest ready time. Construct: o1 on Mixer1 leaves a fluid
+  // whose consumer (o2, a detector op) removes it, then Mixer1 still needs
+  // a long wash; Mixer2 finished earlier and cheaply, so o5 goes there.
+  GraphBuilder b;
+  const auto o1 = b.mix("o1", 4, 8.0);    // Mixer1, slow wash
+  const auto o2 = b.detect("o2", 2, 0.2);
+  const auto o3 = b.mix("o3", 4, 0.2);    // Mixer2, fast wash
+  const auto o4 = b.detect("o4", 2, 0.2);
+  const auto o5 = b.mix("o5", 3, 2.0);    // independent of o1..o4
+  const auto o6 = b.detect("o6", 1, 0.2);
+  b.dep(o1, o2);
+  b.dep(o3, o4);
+  b.dep(o5, o6);
+  const auto s = run(b, {2, 0, 0, 3});
+  // o5 has no same-type parents -> Case II. Mixer holding o3's residue
+  // (wash 0.2) is ready before the mixer holding o1's residue (wash 8).
+  EXPECT_EQ(s.at(o5).component, s.at(o3).component);
+  expect_valid(b, {2, 0, 0, 3}, s);
+}
+
+TEST(Scheduler, EvictionWhenComponentReallocated) {
+  // On a single mixer, the long chain head o2 runs first (highest
+  // priority); its output waits in the chamber while o1 needs the mixer,
+  // so out(o2) is evicted into channel storage, and o3 later consumes
+  // out(o1) in place and pulls out(o2) back from the channel.
+  GraphBuilder b;
+  const auto o1 = b.mix("o1", 3, 0.2);
+  const auto o2 = b.mix("o2", 20, 2.0);
+  const auto o3 = b.mix("o3", 2, 0.2);
+  b.dep(o2, o3);
+  b.dep(o1, o3);
+  const auto s = run(b, {1, 0, 0, 0});
+  ASSERT_EQ(s.transports.size(), 1u);
+  const auto& t = s.transports[0];
+  EXPECT_EQ(t.producer, o2);
+  EXPECT_TRUE(t.evicted);
+  EXPECT_EQ(s.at(o3).in_place_parent, o1);
+  expect_valid(b, {1, 0, 0, 0}, s);
+}
+
+TEST(Scheduler, RefinementShrinksCacheTime) {
+  GraphBuilder b;
+  const auto o1 = b.mix("o1", 3, 0.2);
+  const auto o2 = b.mix("o2", 20, 2.0);
+  const auto o3 = b.mix("o3", 2, 0.2);
+  b.dep(o2, o3);
+  b.dep(o1, o3);
+  SchedulerOptions eager;
+  eager.refine_storage = false;
+  SchedulerOptions refined;
+  refined.refine_storage = true;
+  const auto s_eager = run(b, {1, 0, 0, 0}, eager);
+  const auto s_refined = run(b, {1, 0, 0, 0}, refined);
+  EXPECT_LE(s_refined.total_cache_time(), s_eager.total_cache_time());
+  EXPECT_GT(s_eager.total_cache_time(), 0.0);
+  // Refinement never changes operation times.
+  EXPECT_DOUBLE_EQ(s_refined.completion_time, s_eager.completion_time);
+  expect_valid(b, {1, 0, 0, 0}, s_refined);
+  expect_valid(b, {1, 0, 0, 0}, s_eager);
+}
+
+TEST(Scheduler, RefineChannelStorageIsIdempotent) {
+  GraphBuilder b;
+  const auto o1 = b.mix("o1", 3, 0.2);
+  const auto o2 = b.mix("o2", 20, 2.0);
+  const auto o3 = b.mix("o3", 2, 0.2);
+  b.dep(o2, o3);
+  b.dep(o1, o3);
+  auto s = run(b, {1, 0, 0, 0});
+  const double cache = s.total_cache_time();
+  refine_channel_storage(s);
+  EXPECT_DOUBLE_EQ(s.total_cache_time(), cache);
+}
+
+TEST(Scheduler, PriorityOrderWinsContention) {
+  // Two chains compete for one mixer; the longer chain (higher priority)
+  // must be scheduled first.
+  GraphBuilder b;
+  const auto long1 = b.mix("long1", 5, 0.2);
+  const auto long2 = b.mix("long2", 5, 0.2);
+  const auto long3 = b.mix("long3", 5, 0.2);
+  b.chain(long1, long2, long3);
+  const auto short1 = b.mix("short1", 5, 0.2);
+  const auto s = run(b, {1, 0, 0, 0});
+  EXPECT_LT(s.at(long1).start, s.at(short1).start);
+  expect_valid(b, {1, 0, 0, 0}, s);
+}
+
+TEST(Scheduler, ThrowsWithoutQualifiedComponent) {
+  GraphBuilder b;
+  b.heat("h", 3, 2.0);
+  EXPECT_THROW(run(b, {2, 0, 0, 0}), SchedulingError);
+}
+
+TEST(Scheduler, ThrowsOnInvalidGraph) {
+  SequencingGraph g;
+  const auto a = g.add_operation("a", ComponentType::kMixer, 1.0);
+  const auto b = g.add_operation("b", ComponentType::kMixer, 1.0);
+  g.add_dependency(a, b);
+  g.add_dependency(b, a);
+  EXPECT_THROW(schedule_bioassay(g, Allocation({1, 0, 0, 0}), WashModel{}),
+               SchedulingError);
+}
+
+TEST(Scheduler, DeterministicAcrossRuns) {
+  const auto bench = make_cpa();
+  const Allocation alloc(bench.allocation);
+  const auto s1 = schedule_bioassay(bench.graph, alloc, bench.wash);
+  const auto s2 = schedule_bioassay(bench.graph, alloc, bench.wash);
+  ASSERT_EQ(s1.operations.size(), s2.operations.size());
+  for (std::size_t i = 0; i < s1.operations.size(); ++i) {
+    EXPECT_EQ(s1.operations[i].component, s2.operations[i].component);
+    EXPECT_DOUBLE_EQ(s1.operations[i].start, s2.operations[i].start);
+  }
+  EXPECT_EQ(s1.transports.size(), s2.transports.size());
+}
+
+TEST(Scheduler, CompletionIsMaxEnd) {
+  const auto bench = make_ivd();
+  const auto s = schedule_bioassay(bench.graph, Allocation(bench.allocation),
+                                   bench.wash);
+  double max_end = 0.0;
+  for (const auto& so : s.operations) max_end = std::max(max_end, so.end);
+  EXPECT_DOUBLE_EQ(s.completion_time, max_end);
+}
+
+TEST(Scheduler, CompletionNotBelowCriticalPathBound) {
+  for (const auto& bench : paper_benchmarks()) {
+    const auto s = schedule_bioassay(
+        bench.graph, Allocation(bench.allocation), bench.wash);
+    // The critical path assumes every edge costs t_c; in-place hand-offs
+    // avoid some transports, so the pure duration-only bound applies.
+    double duration_bound = 0.0;
+    for (const auto& op : bench.graph.operations()) {
+      duration_bound = std::max(duration_bound, op.duration);
+    }
+    EXPECT_GE(s.completion_time, duration_bound) << bench.name;
+  }
+}
+
+TEST(Scheduler, PaperExampleDcsaBeatsBaseline) {
+  const auto bench = make_paper_example();
+  const Allocation alloc(bench.allocation);
+  SchedulerOptions ours;
+  SchedulerOptions ba;
+  ba.policy = BindingPolicy::kBaseline;
+  ba.refine_storage = false;
+  const auto s_ours = schedule_bioassay(bench.graph, alloc, bench.wash, ours);
+  const auto s_ba = schedule_bioassay(bench.graph, alloc, bench.wash, ba);
+  EXPECT_LE(s_ours.completion_time, s_ba.completion_time);
+}
+
+TEST(Scheduler, ScheduleToStringMentionsOperations) {
+  const auto bench = make_pcr();
+  const auto s = schedule_bioassay(bench.graph, Allocation(bench.allocation),
+                                   bench.wash);
+  const std::string text = s.to_string(bench.graph);
+  for (const auto& op : bench.graph.operations()) {
+    EXPECT_NE(text.find(op.name), std::string::npos);
+  }
+}
+
+TEST(Scheduler, OperationsOnSortsByStart) {
+  const auto bench = make_pcr();
+  const auto s = schedule_bioassay(bench.graph, Allocation(bench.allocation),
+                                   bench.wash);
+  for (int c = 0; c < 3; ++c) {
+    const auto ops = s.operations_on(ComponentId{c});
+    for (std::size_t i = 1; i < ops.size(); ++i) {
+      EXPECT_LE(ops[i - 1].start, ops[i].start);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fbmb

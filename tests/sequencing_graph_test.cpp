@@ -1,0 +1,161 @@
+#include "graph/sequencing_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace fbmb {
+namespace {
+
+SequencingGraph diamond() {
+  // a -> b, a -> c, b -> d, c -> d
+  SequencingGraph g;
+  const auto a = g.add_operation("a", ComponentType::kMixer, 1.0);
+  const auto b = g.add_operation("b", ComponentType::kMixer, 2.0);
+  const auto c = g.add_operation("c", ComponentType::kHeater, 3.0);
+  const auto d = g.add_operation("d", ComponentType::kDetector, 4.0);
+  g.add_dependency(a, b);
+  g.add_dependency(a, c);
+  g.add_dependency(b, d);
+  g.add_dependency(c, d);
+  return g;
+}
+
+TEST(SequencingGraph, AddOperationAssignsDenseIds) {
+  SequencingGraph g;
+  EXPECT_EQ(g.add_operation("x", ComponentType::kMixer, 1.0).value, 0);
+  EXPECT_EQ(g.add_operation("y", ComponentType::kMixer, 1.0).value, 1);
+  EXPECT_EQ(g.operation_count(), 2u);
+}
+
+TEST(SequencingGraph, DefaultFluidNamedAfterOperation) {
+  SequencingGraph g;
+  const auto id = g.add_operation("op7", ComponentType::kHeater, 2.0);
+  EXPECT_EQ(g.operation(id).output.name, "op7_out");
+  EXPECT_DOUBLE_EQ(g.operation(id).output.diffusion_coefficient,
+                   diffusion::kSmallMolecule);
+}
+
+TEST(SequencingGraph, ExplicitFluid) {
+  SequencingGraph g;
+  const auto id = g.add_operation("op", ComponentType::kMixer, 1.0,
+                                  Fluid{"virus", 5e-8});
+  EXPECT_EQ(g.operation(id).output.name, "virus");
+}
+
+TEST(SequencingGraph, AddDependencyRejectsBadInput) {
+  SequencingGraph g;
+  const auto a = g.add_operation("a", ComponentType::kMixer, 1.0);
+  const auto b = g.add_operation("b", ComponentType::kMixer, 1.0);
+  EXPECT_TRUE(g.add_dependency(a, b));
+  EXPECT_FALSE(g.add_dependency(a, b));              // duplicate
+  EXPECT_FALSE(g.add_dependency(a, a));              // self loop
+  EXPECT_FALSE(g.add_dependency(a, OperationId{9})); // missing endpoint
+  EXPECT_FALSE(g.add_dependency(OperationId{-1}, b));
+  EXPECT_EQ(g.dependency_count(), 1u);
+}
+
+TEST(SequencingGraph, ParentsAndChildren) {
+  const auto g = diamond();
+  EXPECT_TRUE(g.parents(OperationId{0}).empty());
+  EXPECT_EQ(g.children(OperationId{0}).size(), 2u);
+  EXPECT_EQ(g.parents(OperationId{3}).size(), 2u);
+  EXPECT_TRUE(g.children(OperationId{3}).empty());
+  EXPECT_TRUE(g.has_dependency(OperationId{0}, OperationId{1}));
+  EXPECT_FALSE(g.has_dependency(OperationId{1}, OperationId{0}));
+}
+
+TEST(SequencingGraph, SourcesAndSinks) {
+  const auto g = diamond();
+  const auto sources = g.sources();
+  const auto sinks = g.sinks();
+  ASSERT_EQ(sources.size(), 1u);
+  ASSERT_EQ(sinks.size(), 1u);
+  EXPECT_EQ(sources[0].value, 0);
+  EXPECT_EQ(sinks[0].value, 3);
+}
+
+TEST(SequencingGraph, DependenciesEnumeration) {
+  const auto g = diamond();
+  const auto deps = g.dependencies();
+  EXPECT_EQ(deps.size(), 4u);
+  EXPECT_NE(std::find(deps.begin(), deps.end(),
+                      Dependency{OperationId{1}, OperationId{3}}),
+            deps.end());
+}
+
+TEST(SequencingGraph, TopologicalOrderRespectsEdges) {
+  const auto g = diamond();
+  const auto order = g.topological_order();
+  ASSERT_TRUE(order.has_value());
+  ASSERT_EQ(order->size(), 4u);
+  auto pos = [&](int id) {
+    return std::find_if(order->begin(), order->end(),
+                        [&](OperationId o) { return o.value == id; }) -
+           order->begin();
+  };
+  for (const auto& dep : g.dependencies()) {
+    EXPECT_LT(pos(dep.from.value), pos(dep.to.value));
+  }
+}
+
+TEST(SequencingGraph, CycleDetection) {
+  SequencingGraph g;
+  const auto a = g.add_operation("a", ComponentType::kMixer, 1.0);
+  const auto b = g.add_operation("b", ComponentType::kMixer, 1.0);
+  const auto c = g.add_operation("c", ComponentType::kMixer, 1.0);
+  g.add_dependency(a, b);
+  g.add_dependency(b, c);
+  EXPECT_TRUE(g.is_acyclic());
+  g.add_dependency(c, a);
+  EXPECT_FALSE(g.is_acyclic());
+  EXPECT_FALSE(g.topological_order().has_value());
+}
+
+TEST(SequencingGraph, ValidateCatchesCycle) {
+  SequencingGraph g;
+  const auto a = g.add_operation("a", ComponentType::kMixer, 1.0);
+  const auto b = g.add_operation("b", ComponentType::kMixer, 1.0);
+  g.add_dependency(a, b);
+  g.add_dependency(b, a);
+  const auto err = g.validate();
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("cycle"), std::string::npos);
+}
+
+TEST(SequencingGraph, ValidateCatchesBadDuration) {
+  SequencingGraph g;
+  g.add_operation("bad", ComponentType::kMixer, 0.0);
+  ASSERT_TRUE(g.validate().has_value());
+}
+
+TEST(SequencingGraph, ValidateCatchesBadDiffusion) {
+  SequencingGraph g;
+  g.add_operation("bad", ComponentType::kMixer, 1.0, Fluid{"f", 0.0});
+  ASSERT_TRUE(g.validate().has_value());
+}
+
+TEST(SequencingGraph, ValidateAcceptsGoodGraph) {
+  EXPECT_FALSE(diamond().validate().has_value());
+}
+
+TEST(SequencingGraph, EmptyGraph) {
+  SequencingGraph g;
+  EXPECT_TRUE(g.empty());
+  EXPECT_TRUE(g.is_acyclic());
+  EXPECT_TRUE(g.sources().empty());
+  EXPECT_FALSE(g.validate().has_value());
+}
+
+TEST(SequencingGraph, DotExportMentionsAllOperations) {
+  const auto g = diamond();
+  const std::string dot = g.to_dot();
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  for (const auto& op : g.operations()) {
+    EXPECT_NE(dot.find(op.name), std::string::npos);
+  }
+  EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fbmb

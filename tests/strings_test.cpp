@@ -1,0 +1,57 @@
+#include "util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fbmb {
+namespace {
+
+TEST(FormatDouble, Precision) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(3.14159, 0), "3");
+  EXPECT_EQ(format_double(3.14159, 4), "3.1416");
+  EXPECT_EQ(format_double(-0.5, 1), "-0.5");
+  EXPECT_EQ(format_double(0.0, 2), "0.00");
+}
+
+TEST(Pad, LeftAndRight) {
+  EXPECT_EQ(pad_left("ab", 5), "   ab");
+  EXPECT_EQ(pad_right("ab", 5), "ab   ");
+  EXPECT_EQ(pad_left("abcdef", 3), "abcdef");  // no truncation
+  EXPECT_EQ(pad_right("abcdef", 3), "abcdef");
+  EXPECT_EQ(pad_left("", 3), "   ");
+}
+
+TEST(Join, Various) {
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"a"}, ","), "a");
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+TEST(Split, KeepsEmptyFields) {
+  EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(SplitJoin, RoundTrip) {
+  const std::string s = "one,two,,four";
+  EXPECT_EQ(join(split(s, ','), ","), s);
+}
+
+TEST(ImprovementPercent, SmallerIsBetter) {
+  EXPECT_DOUBLE_EQ(improvement_percent(90.0, 100.0), 10.0);
+  EXPECT_DOUBLE_EQ(improvement_percent(100.0, 100.0), 0.0);
+  EXPECT_DOUBLE_EQ(improvement_percent(110.0, 100.0), -10.0);
+  EXPECT_DOUBLE_EQ(improvement_percent(5.0, 0.0), 0.0);  // guarded
+}
+
+TEST(GainPercent, LargerIsBetter) {
+  EXPECT_DOUBLE_EQ(gain_percent(110.0, 100.0), 10.0);
+  EXPECT_DOUBLE_EQ(gain_percent(100.0, 100.0), 0.0);
+  EXPECT_DOUBLE_EQ(gain_percent(90.0, 100.0), -10.0);
+  EXPECT_DOUBLE_EQ(gain_percent(5.0, 0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace fbmb

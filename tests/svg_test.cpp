@@ -1,0 +1,114 @@
+#include "report/svg.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bench_suite/benchmarks.hpp"
+#include "core/synthesis.hpp"
+
+namespace fbmb {
+namespace {
+
+struct Fixture {
+  Allocation alloc{AllocationSpec{2, 0, 0, 0}};
+  ChipSpec chip;
+  Placement placement{2};
+
+  Fixture() {
+    chip.grid_width = 12;
+    chip.grid_height = 12;
+    placement.at(ComponentId{0}) = {{1, 1}, false};
+    placement.at(ComponentId{1}) = {{7, 7}, false};
+  }
+};
+
+TEST(Svg, WellFormedDocument) {
+  Fixture fx;
+  const std::string svg =
+      render_layout_svg(fx.alloc, fx.placement, fx.chip, {});
+  EXPECT_TRUE(svg.starts_with("<svg"));
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_NE(svg.find("xmlns"), std::string::npos);
+}
+
+TEST(Svg, DimensionsFollowGridAndCellSize) {
+  Fixture fx;
+  SvgOptions opts;
+  opts.cell_pixels = 10;
+  const std::string svg =
+      render_layout_svg(fx.alloc, fx.placement, fx.chip, {}, opts);
+  EXPECT_NE(svg.find("width=\"120\""), std::string::npos);
+  EXPECT_NE(svg.find("height=\"120\""), std::string::npos);
+}
+
+TEST(Svg, ComponentsLabeled) {
+  Fixture fx;
+  const std::string svg =
+      render_layout_svg(fx.alloc, fx.placement, fx.chip, {});
+  EXPECT_NE(svg.find("Mixer1"), std::string::npos);
+  EXPECT_NE(svg.find("Mixer2"), std::string::npos);
+}
+
+TEST(Svg, LabelsCanBeDisabled) {
+  Fixture fx;
+  SvgOptions opts;
+  opts.label_components = false;
+  const std::string svg =
+      render_layout_svg(fx.alloc, fx.placement, fx.chip, {}, opts);
+  EXPECT_EQ(svg.find("Mixer1"), std::string::npos);
+}
+
+TEST(Svg, RoutesRenderedAsPolylines) {
+  Fixture fx;
+  RoutingResult routing;
+  RoutedPath path;
+  path.transport_id = 0;
+  path.from_component = 0;
+  path.to_component = 1;
+  path.cells = {{5, 1}, {5, 2}, {5, 3}};
+  routing.paths = {path};
+  const std::string svg =
+      render_layout_svg(fx.alloc, fx.placement, fx.chip, routing);
+  EXPECT_NE(svg.find("<polyline"), std::string::npos);
+}
+
+TEST(Svg, CacheTailHighlighted) {
+  Fixture fx;
+  RoutingResult routing;
+  RoutedPath path;
+  path.transport_id = 0;
+  path.from_component = 0;
+  path.to_component = 1;
+  path.cells = {{5, 1}, {5, 2}};
+  path.transport_end = 2.0;
+  path.cache_until = 10.0;  // cached
+  routing.paths = {path};
+  const std::string svg =
+      render_layout_svg(fx.alloc, fx.placement, fx.chip, routing);
+  EXPECT_NE(svg.find("stroke-dasharray"), std::string::npos);
+}
+
+TEST(Svg, GridCanBeDisabled) {
+  Fixture fx;
+  SvgOptions with, without;
+  without.draw_grid = false;
+  const std::string a =
+      render_layout_svg(fx.alloc, fx.placement, fx.chip, {}, with);
+  const std::string b =
+      render_layout_svg(fx.alloc, fx.placement, fx.chip, {}, without);
+  EXPECT_GT(a.size(), b.size());
+}
+
+TEST(Svg, FullFlowRenders) {
+  const auto bench = make_ivd();
+  const Allocation alloc(bench.allocation);
+  const auto result = synthesize_dcsa(bench.graph, alloc, bench.wash);
+  const std::string svg = render_layout_svg(alloc, result.placement,
+                                            result.chip, result.routing);
+  EXPECT_GT(svg.size(), 1000u);
+  for (const auto& comp : alloc.components()) {
+    EXPECT_NE(svg.find(comp.name), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace fbmb

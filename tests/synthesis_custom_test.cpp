@@ -1,0 +1,126 @@
+// synthesize_custom: every knob combination must produce a fully valid
+// result — this is the surface the ablation benches rely on.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "bench_suite/benchmarks.hpp"
+#include "core/synthesis.hpp"
+#include "route/grid.hpp"
+#include "route/validator.hpp"
+#include "schedule/validator.hpp"
+
+namespace fbmb {
+namespace {
+
+class CustomFlowTest
+    : public ::testing::TestWithParam<
+          std::tuple<BindingPolicy, bool, bool, PlacementStrategy>> {};
+
+TEST_P(CustomFlowTest, AllKnobCombinationsValid) {
+  const auto policy = std::get<0>(GetParam());
+  const bool refine = std::get<1>(GetParam());
+  const bool wash_aware = std::get<2>(GetParam());
+  const auto placement = std::get<3>(GetParam());
+
+  const auto bench = make_synthetic(1);
+  const Allocation alloc(bench.allocation);
+  SynthesisOptions opts;
+  opts.scheduler.policy = policy;
+  opts.scheduler.refine_storage = refine;
+  opts.router.wash_aware_weights = wash_aware;
+  opts.router.conflict_aware = true;
+  opts.placement = placement;
+  opts.placer.restarts = 1;
+
+  const auto result =
+      synthesize_custom(bench.graph, alloc, bench.wash, opts);
+
+  const auto sched_errors =
+      validate_schedule(result.schedule, bench.graph, alloc, bench.wash);
+  EXPECT_TRUE(sched_errors.empty())
+      << (sched_errors.empty() ? "" : sched_errors.front());
+  EXPECT_TRUE(result.placement.is_legal(alloc, result.chip));
+  RoutingGrid fresh(result.chip, alloc, result.placement);
+  const auto route_errors =
+      validate_routing(result.routing, result.schedule, fresh, bench.wash);
+  EXPECT_TRUE(route_errors.empty())
+      << (route_errors.empty() ? "" : route_errors.front());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Knobs, CustomFlowTest,
+    ::testing::Combine(
+        ::testing::Values(BindingPolicy::kDcsa, BindingPolicy::kBaseline),
+        ::testing::Bool(), ::testing::Bool(),
+        ::testing::Values(PlacementStrategy::kSimulatedAnnealing,
+                          PlacementStrategy::kConstructive)));
+
+class RouteOrderTest : public ::testing::TestWithParam<RouteOrder> {};
+
+TEST_P(RouteOrderTest, EveryOrderRoutesValidly) {
+  const auto bench = make_ivd();
+  const Allocation alloc(bench.allocation);
+  SynthesisOptions opts;
+  opts.router.order = GetParam();
+  opts.placer.restarts = 1;
+  const auto result = synthesize_dcsa(bench.graph, alloc, bench.wash, opts);
+  RoutingGrid fresh(result.chip, alloc, result.placement);
+  const auto errors =
+      validate_routing(result.routing, result.schedule, fresh, bench.wash);
+  EXPECT_TRUE(errors.empty()) << (errors.empty() ? "" : errors.front());
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, RouteOrderTest,
+                         ::testing::Values(RouteOrder::kStartTime,
+                                           RouteOrder::kLongestFirst,
+                                           RouteOrder::kId));
+
+TEST(CustomFlow, PresetsMatchCustomEquivalents) {
+  const auto bench = make_ivd();
+  const Allocation alloc(bench.allocation);
+
+  SynthesisOptions dcsa_like;
+  dcsa_like.scheduler.policy = BindingPolicy::kDcsa;
+  dcsa_like.scheduler.refine_storage = true;
+  dcsa_like.router.wash_aware_weights = true;
+  dcsa_like.router.conflict_aware = true;
+  dcsa_like.placement = PlacementStrategy::kSimulatedAnnealing;
+
+  const auto preset = synthesize_dcsa(bench.graph, alloc, bench.wash);
+  const auto custom =
+      synthesize_custom(bench.graph, alloc, bench.wash, dcsa_like);
+  EXPECT_DOUBLE_EQ(preset.completion_time, custom.completion_time);
+  EXPECT_DOUBLE_EQ(preset.channel_length_mm, custom.channel_length_mm);
+
+  SynthesisOptions ba_like;
+  ba_like.scheduler.policy = BindingPolicy::kBaseline;
+  ba_like.scheduler.refine_storage = false;
+  ba_like.router.wash_aware_weights = false;
+  ba_like.router.conflict_aware = true;
+  ba_like.placement = PlacementStrategy::kConstructive;
+  const auto ba_preset =
+      synthesize_baseline(bench.graph, alloc, bench.wash);
+  const auto ba_custom =
+      synthesize_custom(bench.graph, alloc, bench.wash, ba_like);
+  EXPECT_DOUBLE_EQ(ba_preset.completion_time, ba_custom.completion_time);
+}
+
+TEST(CustomFlow, PerformanceGuard) {
+  // The full CPA flow (both variants) must stay laptop-interactive; the
+  // paper reports <= 0.03 s for its C implementation, we allow a generous
+  // 5 s to keep CI boxes happy.
+  const auto bench = make_cpa();
+  const Allocation alloc(bench.allocation);
+  const auto t0 = std::chrono::steady_clock::now();
+  (void)synthesize_dcsa(bench.graph, alloc, bench.wash);
+  (void)synthesize_baseline(bench.graph, alloc, bench.wash);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_LT(elapsed, 5.0);
+}
+
+}  // namespace
+}  // namespace fbmb

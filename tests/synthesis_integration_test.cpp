@@ -1,0 +1,130 @@
+// End-to-end integration: the full DCSA and BA flows on the paper's
+// benchmarks, with every stage's output cross-validated.
+
+#include <gtest/gtest.h>
+
+#include "bench_suite/benchmarks.hpp"
+#include "core/synthesis.hpp"
+#include "route/grid.hpp"
+#include "route/validator.hpp"
+#include "schedule/validator.hpp"
+
+namespace fbmb {
+namespace {
+
+class SynthesisIntegrationTest : public ::testing::TestWithParam<int> {};
+
+constexpr const char* kNames[] = {"PCR",        "IVD",        "CPA",
+                                  "Synthetic1", "Synthetic2", "Synthetic3",
+                                  "Synthetic4"};
+
+const Benchmark& bench_at(int index) {
+  static const auto benches = paper_benchmarks();
+  return benches[static_cast<std::size_t>(index)];
+}
+
+TEST_P(SynthesisIntegrationTest, DcsaFlowFullyValid) {
+  const Benchmark& bench = bench_at(GetParam());
+  const Allocation alloc(bench.allocation);
+  const auto result = synthesize_dcsa(bench.graph, alloc, bench.wash);
+
+  // Schedule invariants.
+  const auto sched_errors =
+      validate_schedule(result.schedule, bench.graph, alloc, bench.wash);
+  EXPECT_TRUE(sched_errors.empty())
+      << bench.name << ": " << (sched_errors.empty() ? "" : sched_errors.front());
+
+  // Placement invariants.
+  EXPECT_TRUE(result.placement.is_legal(alloc, result.chip)) << bench.name;
+
+  // Routing invariants (fresh grid re-simulation).
+  RoutingGrid fresh(result.chip, alloc, result.placement);
+  const auto route_errors =
+      validate_routing(result.routing, result.schedule, fresh, bench.wash);
+  EXPECT_TRUE(route_errors.empty())
+      << bench.name << ": " << (route_errors.empty() ? "" : route_errors.front());
+
+  // Metric consistency.
+  EXPECT_DOUBLE_EQ(result.completion_time, result.schedule.completion_time);
+  EXPECT_GT(result.completion_time, 0.0);
+  EXPECT_GT(result.utilization, 0.0);
+  EXPECT_LE(result.utilization, 1.0 + 1e-9);
+  EXPECT_GT(result.channel_length_mm, 0.0);
+  EXPECT_GE(result.total_cache_time, 0.0);
+  EXPECT_GE(result.channel_wash_time, 0.0);
+  EXPECT_GT(result.cpu_seconds, 0.0);
+}
+
+TEST_P(SynthesisIntegrationTest, BaselineFlowFullyValid) {
+  const Benchmark& bench = bench_at(GetParam());
+  const Allocation alloc(bench.allocation);
+  const auto result = synthesize_baseline(bench.graph, alloc, bench.wash);
+
+  const auto sched_errors =
+      validate_schedule(result.schedule, bench.graph, alloc, bench.wash);
+  EXPECT_TRUE(sched_errors.empty())
+      << bench.name << ": " << (sched_errors.empty() ? "" : sched_errors.front());
+  EXPECT_TRUE(result.placement.is_legal(alloc, result.chip)) << bench.name;
+  RoutingGrid fresh(result.chip, alloc, result.placement);
+  const auto route_errors =
+      validate_routing(result.routing, result.schedule, fresh, bench.wash);
+  EXPECT_TRUE(route_errors.empty())
+      << bench.name << ": " << (route_errors.empty() ? "" : route_errors.front());
+}
+
+TEST_P(SynthesisIntegrationTest, DcsaFlowDeterministic) {
+  const Benchmark& bench = bench_at(GetParam());
+  const Allocation alloc(bench.allocation);
+  const auto a = synthesize_dcsa(bench.graph, alloc, bench.wash);
+  const auto b = synthesize_dcsa(bench.graph, alloc, bench.wash);
+  EXPECT_DOUBLE_EQ(a.completion_time, b.completion_time);
+  EXPECT_DOUBLE_EQ(a.channel_length_mm, b.channel_length_mm);
+  EXPECT_DOUBLE_EQ(a.total_cache_time, b.total_cache_time);
+  EXPECT_DOUBLE_EQ(a.channel_wash_time, b.channel_wash_time);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSeven, SynthesisIntegrationTest,
+                         ::testing::Range(0, 7),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return std::string(kNames[info.param]);
+                         });
+
+TEST(Synthesis, SummaryMentionsKeyMetrics) {
+  const auto bench = make_pcr();
+  const auto result =
+      synthesize_dcsa(bench.graph, Allocation(bench.allocation), bench.wash);
+  const std::string summary = result.summary();
+  EXPECT_NE(summary.find("execution time"), std::string::npos);
+  EXPECT_NE(summary.find("utilization"), std::string::npos);
+  EXPECT_NE(summary.find("channel length"), std::string::npos);
+}
+
+TEST(Synthesis, FixedGridOptionIsHonored) {
+  const auto bench = make_pcr();
+  SynthesisOptions opts;
+  opts.chip.grid_width = 24;
+  opts.chip.grid_height = 18;
+  const auto result = synthesize_dcsa(bench.graph,
+                                      Allocation(bench.allocation),
+                                      bench.wash, opts);
+  EXPECT_EQ(result.chip.grid_width, 24);
+  EXPECT_EQ(result.chip.grid_height, 18);
+}
+
+TEST(Synthesis, SeedChangesArePurelyPlacementSide) {
+  // Different placer seeds may change length but never break validity.
+  const auto bench = make_synthetic(1);
+  const Allocation alloc(bench.allocation);
+  for (std::uint64_t seed : {1ull, 99ull}) {
+    SynthesisOptions opts;
+    opts.placer.seed = seed;
+    const auto result =
+        synthesize_dcsa(bench.graph, alloc, bench.wash, opts);
+    const auto errors =
+        validate_schedule(result.schedule, bench.graph, alloc, bench.wash);
+    EXPECT_TRUE(errors.empty()) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace fbmb

@@ -1,0 +1,159 @@
+#include "route/wash_planner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bench_suite/benchmarks.hpp"
+#include "core/synthesis.hpp"
+#include "route/router.hpp"
+
+namespace fbmb {
+namespace {
+
+struct Fixture {
+  Allocation alloc{AllocationSpec{2, 0, 0, 0}};
+  ChipSpec chip;
+  Placement placement{2};
+  WashModel wash;
+
+  Fixture() {
+    chip.grid_width = 20;
+    chip.grid_height = 20;
+    placement.at(ComponentId{0}) = {{2, 8}, false};
+    placement.at(ComponentId{1}) = {{14, 8}, false};
+  }
+
+  static TransportTask transport(int id, int from, int to, double dep,
+                                 double consume, const Fluid& fluid) {
+    TransportTask t;
+    t.id = id;
+    t.producer = OperationId{id};
+    t.consumer = OperationId{id + 100};
+    t.from = ComponentId{from};
+    t.to = ComponentId{to};
+    t.fluid = fluid;
+    t.departure = dep;
+    t.transport_time = 2.0;
+    t.consume = consume;
+    return t;
+  }
+};
+
+TEST(WashPlanner, NoWashesNoFlushes) {
+  Fixture fx;
+  RoutingGrid grid(fx.chip, fx.alloc, fx.placement);
+  Schedule s;
+  s.transports = {Fixture::transport(0, 0, 1, 0.0, 2.0, Fluid{"f", 1e-5})};
+  const auto routing = route_transports(grid, s, fx.wash);
+  RoutingGrid fresh(fx.chip, fx.alloc, fx.placement);
+  const auto plan = plan_wash_pathways(fresh, routing, s);
+  EXPECT_TRUE(plan.flushes.empty());
+  EXPECT_EQ(plan.infeasible_count, 0);
+}
+
+TEST(WashPlanner, FlushPlannedForForeignResidue) {
+  Fixture fx;
+  RoutingGrid grid(fx.chip, fx.alloc, fx.placement);
+  Schedule s;
+  s.transports = {
+      Fixture::transport(0, 0, 1, 0.0, 2.0, Fluid{"cells", 5e-8}),
+      Fixture::transport(1, 0, 1, 20.0, 22.0, Fluid{"buffer", 1e-5})};
+  RouterOptions opts;
+  opts.wash_aware_weights = false;  // deterministic same shortest path
+  const auto routing = route_transports(grid, s, fx.wash, opts);
+  ASSERT_EQ(routing.paths.size(), 2u);
+  ASSERT_GT(routing.paths[1].wash_duration, 0.0);
+
+  RoutingGrid fresh(fx.chip, fx.alloc, fx.placement);
+  const auto plan = plan_wash_pathways(fresh, routing, s);
+  ASSERT_EQ(plan.flushes.size(), 1u);
+  const auto& flush = plan.flushes[0];
+  EXPECT_TRUE(flush.feasible);
+  EXPECT_EQ(flush.transport_id, 1);
+  // Pathway runs inlet -> washed path -> outlet.
+  EXPECT_EQ(flush.cells.front(), plan.inlet);
+  EXPECT_EQ(flush.cells.back(), plan.outlet);
+  // Window matches the router's booking: [start - wash, start).
+  EXPECT_DOUBLE_EQ(flush.end, routing.paths[1].start);
+  EXPECT_DOUBLE_EQ(flush.end - flush.start,
+                   routing.paths[1].wash_duration);
+  // Covers every cell of the washed path.
+  for (const Point& p : routing.paths[1].cells) {
+    EXPECT_NE(std::find(flush.cells.begin(), flush.cells.end(), p),
+              flush.cells.end());
+  }
+}
+
+TEST(WashPlanner, PathwayIsConnected) {
+  Fixture fx;
+  RoutingGrid grid(fx.chip, fx.alloc, fx.placement);
+  Schedule s;
+  s.transports = {
+      Fixture::transport(0, 0, 1, 0.0, 2.0, Fluid{"cells", 5e-8}),
+      Fixture::transport(1, 1, 0, 30.0, 32.0, Fluid{"buffer", 1e-5})};
+  RouterOptions opts;
+  opts.wash_aware_weights = false;
+  const auto routing = route_transports(grid, s, fx.wash, opts);
+  RoutingGrid fresh(fx.chip, fx.alloc, fx.placement);
+  const auto plan = plan_wash_pathways(fresh, routing, s);
+  for (const auto& flush : plan.flushes) {
+    if (!flush.feasible) continue;
+    for (std::size_t i = 1; i < flush.cells.size(); ++i) {
+      EXPECT_EQ(manhattan_distance(flush.cells[i - 1], flush.cells[i]), 1);
+      EXPECT_FALSE(fresh.blocked(flush.cells[i]));
+    }
+  }
+}
+
+TEST(WashPlanner, ExplicitPorts) {
+  Fixture fx;
+  RoutingGrid grid(fx.chip, fx.alloc, fx.placement);
+  Schedule s;
+  s.transports = {
+      Fixture::transport(0, 0, 1, 0.0, 2.0, Fluid{"cells", 5e-8}),
+      Fixture::transport(1, 0, 1, 20.0, 22.0, Fluid{"buffer", 1e-5})};
+  RouterOptions opts;
+  opts.wash_aware_weights = false;
+  const auto routing = route_transports(grid, s, fx.wash, opts);
+  RoutingGrid fresh(fx.chip, fx.alloc, fx.placement);
+  WashPlanOptions wopts;
+  wopts.inlet = {0, 19};
+  wopts.outlet = {19, 0};
+  const auto plan = plan_wash_pathways(fresh, routing, s, wopts);
+  EXPECT_EQ(plan.inlet, (Point{0, 19}));
+  EXPECT_EQ(plan.outlet, (Point{19, 0}));
+  ASSERT_FALSE(plan.flushes.empty());
+  EXPECT_TRUE(plan.flushes[0].feasible);
+}
+
+TEST(WashPlanner, FlushLengthAccounting) {
+  WashPlan plan;
+  WashPath a;
+  a.feasible = true;
+  a.cells = {{0, 0}, {1, 0}, {2, 0}};  // 2 segments
+  WashPath b;
+  b.feasible = false;
+  b.cells = {};
+  plan.flushes = {a, b};
+  EXPECT_DOUBLE_EQ(plan.total_flush_length_mm(10.0), 20.0);
+}
+
+TEST(WashPlanner, FullFlowsPlanFeasibleFlushes) {
+  for (const auto& bench : paper_benchmarks()) {
+    const Allocation alloc(bench.allocation);
+    const auto result = synthesize_dcsa(bench.graph, alloc, bench.wash);
+    RoutingGrid fresh(result.chip, alloc, result.placement);
+    const auto plan =
+        plan_wash_pathways(fresh, result.routing, result.schedule);
+    EXPECT_EQ(plan.infeasible_count, 0)
+        << bench.name << ": every flush should find a pathway";
+    int with_wash = 0;
+    for (const auto& path : result.routing.paths) {
+      if (path.wash_duration > 0.0) ++with_wash;
+    }
+    EXPECT_EQ(static_cast<int>(plan.flushes.size()), with_wash)
+        << bench.name;
+  }
+}
+
+}  // namespace
+}  // namespace fbmb
