@@ -1,0 +1,109 @@
+#----------------------------------------------------------------
+# Generated CMake target import file for configuration "Release".
+#----------------------------------------------------------------
+
+# Commands may need to know the format version.
+set(CMAKE_IMPORT_FILE_VERSION 1)
+
+# Import target "msynth::msynth_util" for configuration "Release"
+set_property(TARGET msynth::msynth_util APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(msynth::msynth_util PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libmsynth_util.a"
+  )
+
+list(APPEND _cmake_import_check_targets msynth::msynth_util )
+list(APPEND _cmake_import_check_files_for_msynth::msynth_util "${_IMPORT_PREFIX}/lib/libmsynth_util.a" )
+
+# Import target "msynth::msynth_biochip" for configuration "Release"
+set_property(TARGET msynth::msynth_biochip APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(msynth::msynth_biochip PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libmsynth_biochip.a"
+  )
+
+list(APPEND _cmake_import_check_targets msynth::msynth_biochip )
+list(APPEND _cmake_import_check_files_for_msynth::msynth_biochip "${_IMPORT_PREFIX}/lib/libmsynth_biochip.a" )
+
+# Import target "msynth::msynth_graph" for configuration "Release"
+set_property(TARGET msynth::msynth_graph APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(msynth::msynth_graph PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libmsynth_graph.a"
+  )
+
+list(APPEND _cmake_import_check_targets msynth::msynth_graph )
+list(APPEND _cmake_import_check_files_for_msynth::msynth_graph "${_IMPORT_PREFIX}/lib/libmsynth_graph.a" )
+
+# Import target "msynth::msynth_schedule" for configuration "Release"
+set_property(TARGET msynth::msynth_schedule APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(msynth::msynth_schedule PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libmsynth_schedule.a"
+  )
+
+list(APPEND _cmake_import_check_targets msynth::msynth_schedule )
+list(APPEND _cmake_import_check_files_for_msynth::msynth_schedule "${_IMPORT_PREFIX}/lib/libmsynth_schedule.a" )
+
+# Import target "msynth::msynth_place" for configuration "Release"
+set_property(TARGET msynth::msynth_place APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(msynth::msynth_place PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libmsynth_place.a"
+  )
+
+list(APPEND _cmake_import_check_targets msynth::msynth_place )
+list(APPEND _cmake_import_check_files_for_msynth::msynth_place "${_IMPORT_PREFIX}/lib/libmsynth_place.a" )
+
+# Import target "msynth::msynth_route" for configuration "Release"
+set_property(TARGET msynth::msynth_route APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(msynth::msynth_route PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libmsynth_route.a"
+  )
+
+list(APPEND _cmake_import_check_targets msynth::msynth_route )
+list(APPEND _cmake_import_check_files_for_msynth::msynth_route "${_IMPORT_PREFIX}/lib/libmsynth_route.a" )
+
+# Import target "msynth::msynth_core" for configuration "Release"
+set_property(TARGET msynth::msynth_core APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(msynth::msynth_core PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libmsynth_core.a"
+  )
+
+list(APPEND _cmake_import_check_targets msynth::msynth_core )
+list(APPEND _cmake_import_check_files_for_msynth::msynth_core "${_IMPORT_PREFIX}/lib/libmsynth_core.a" )
+
+# Import target "msynth::msynth_sim" for configuration "Release"
+set_property(TARGET msynth::msynth_sim APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(msynth::msynth_sim PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libmsynth_sim.a"
+  )
+
+list(APPEND _cmake_import_check_targets msynth::msynth_sim )
+list(APPEND _cmake_import_check_files_for_msynth::msynth_sim "${_IMPORT_PREFIX}/lib/libmsynth_sim.a" )
+
+# Import target "msynth::msynth_bench_suite" for configuration "Release"
+set_property(TARGET msynth::msynth_bench_suite APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(msynth::msynth_bench_suite PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libmsynth_bench_suite.a"
+  )
+
+list(APPEND _cmake_import_check_targets msynth::msynth_bench_suite )
+list(APPEND _cmake_import_check_files_for_msynth::msynth_bench_suite "${_IMPORT_PREFIX}/lib/libmsynth_bench_suite.a" )
+
+# Import target "msynth::msynth_report" for configuration "Release"
+set_property(TARGET msynth::msynth_report APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(msynth::msynth_report PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libmsynth_report.a"
+  )
+
+list(APPEND _cmake_import_check_targets msynth::msynth_report )
+list(APPEND _cmake_import_check_files_for_msynth::msynth_report "${_IMPORT_PREFIX}/lib/libmsynth_report.a" )
+
+# Commands beyond this point should not need to know the version.
+set(CMAKE_IMPORT_FILE_VERSION)

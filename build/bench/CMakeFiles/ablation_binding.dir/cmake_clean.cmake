@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_binding.dir/ablation_binding.cpp.o"
+  "CMakeFiles/ablation_binding.dir/ablation_binding.cpp.o.d"
+  "ablation_binding"
+  "ablation_binding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_binding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_route_order.dir/ablation_route_order.cpp.o"
+  "CMakeFiles/ablation_route_order.dir/ablation_route_order.cpp.o.d"
+  "ablation_route_order"
+  "ablation_route_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_route_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_route_order.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_routing_weights.dir/ablation_routing_weights.cpp.o"
+  "CMakeFiles/ablation_routing_weights.dir/ablation_routing_weights.cpp.o.d"
+  "ablation_routing_weights"
+  "ablation_routing_weights.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_routing_weights.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_allocation_dse.dir/extension_allocation_dse.cpp.o"
+  "CMakeFiles/extension_allocation_dse.dir/extension_allocation_dse.cpp.o.d"
+  "extension_allocation_dse"
+  "extension_allocation_dse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_allocation_dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

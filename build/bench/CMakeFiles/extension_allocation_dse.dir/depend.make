@@ -1,0 +1,2 @@
+# Empty dependencies file for extension_allocation_dse.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_control_layer.dir/extension_control_layer.cpp.o"
+  "CMakeFiles/extension_control_layer.dir/extension_control_layer.cpp.o.d"
+  "extension_control_layer"
+  "extension_control_layer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_control_layer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_defect_robustness.dir/extension_defect_robustness.cpp.o"
+  "CMakeFiles/extension_defect_robustness.dir/extension_defect_robustness.cpp.o.d"
+  "extension_defect_robustness"
+  "extension_defect_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_defect_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_fabrication_cost.dir/extension_fabrication_cost.cpp.o"
+  "CMakeFiles/extension_fabrication_cost.dir/extension_fabrication_cost.cpp.o.d"
+  "extension_fabrication_cost"
+  "extension_fabrication_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_fabrication_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

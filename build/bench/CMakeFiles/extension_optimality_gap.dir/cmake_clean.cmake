@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_optimality_gap.dir/extension_optimality_gap.cpp.o"
+  "CMakeFiles/extension_optimality_gap.dir/extension_optimality_gap.cpp.o.d"
+  "extension_optimality_gap"
+  "extension_optimality_gap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_optimality_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

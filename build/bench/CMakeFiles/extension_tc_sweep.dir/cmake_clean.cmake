@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_tc_sweep.dir/extension_tc_sweep.cpp.o"
+  "CMakeFiles/extension_tc_sweep.dir/extension_tc_sweep.cpp.o.d"
+  "extension_tc_sweep"
+  "extension_tc_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_tc_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

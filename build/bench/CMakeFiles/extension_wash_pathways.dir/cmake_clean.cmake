@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_wash_pathways.dir/extension_wash_pathways.cpp.o"
+  "CMakeFiles/extension_wash_pathways.dir/extension_wash_pathways.cpp.o.d"
+  "extension_wash_pathways"
+  "extension_wash_pathways.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_wash_pathways.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_cache_time.dir/fig8_cache_time.cpp.o"
+  "CMakeFiles/fig8_cache_time.dir/fig8_cache_time.cpp.o.d"
+  "fig8_cache_time"
+  "fig8_cache_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_cache_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_wash_time.dir/fig9_wash_time.cpp.o"
+  "CMakeFiles/fig9_wash_time.dir/fig9_wash_time.cpp.o.d"
+  "fig9_wash_time"
+  "fig9_wash_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_wash_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

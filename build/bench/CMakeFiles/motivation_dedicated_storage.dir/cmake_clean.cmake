@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motivation_dedicated_storage.dir/motivation_dedicated_storage.cpp.o"
+  "CMakeFiles/motivation_dedicated_storage.dir/motivation_dedicated_storage.cpp.o.d"
+  "motivation_dedicated_storage"
+  "motivation_dedicated_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motivation_dedicated_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

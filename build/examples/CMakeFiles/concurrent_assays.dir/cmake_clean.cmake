@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concurrent_assays.dir/concurrent_assays.cpp.o"
+  "CMakeFiles/concurrent_assays.dir/concurrent_assays.cpp.o.d"
+  "concurrent_assays"
+  "concurrent_assays.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concurrent_assays.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_assay.dir/custom_assay.cpp.o"
+  "CMakeFiles/custom_assay.dir/custom_assay.cpp.o.d"
+  "custom_assay"
+  "custom_assay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_assay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

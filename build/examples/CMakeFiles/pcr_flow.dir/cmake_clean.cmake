@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcr_flow.dir/pcr_flow.cpp.o"
+  "CMakeFiles/pcr_flow.dir/pcr_flow.cpp.o.d"
+  "pcr_flow"
+  "pcr_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcr_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simulate_assay.dir/simulate_assay.cpp.o"
+  "CMakeFiles/simulate_assay.dir/simulate_assay.cpp.o.d"
+  "simulate_assay"
+  "simulate_assay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simulate_assay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

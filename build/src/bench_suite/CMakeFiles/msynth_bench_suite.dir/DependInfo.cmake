@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bench_suite/benchmarks.cpp" "src/bench_suite/CMakeFiles/msynth_bench_suite.dir/benchmarks.cpp.o" "gcc" "src/bench_suite/CMakeFiles/msynth_bench_suite.dir/benchmarks.cpp.o.d"
+  "/root/repo/src/bench_suite/synthetic.cpp" "src/bench_suite/CMakeFiles/msynth_bench_suite.dir/synthetic.cpp.o" "gcc" "src/bench_suite/CMakeFiles/msynth_bench_suite.dir/synthetic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/msynth_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/biochip/CMakeFiles/msynth_biochip.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/msynth_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msynth_bench_suite.dir/benchmarks.cpp.o"
+  "CMakeFiles/msynth_bench_suite.dir/benchmarks.cpp.o.d"
+  "CMakeFiles/msynth_bench_suite.dir/synthetic.cpp.o"
+  "CMakeFiles/msynth_bench_suite.dir/synthetic.cpp.o.d"
+  "libmsynth_bench_suite.a"
+  "libmsynth_bench_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msynth_bench_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/biochip/chip_spec.cpp" "src/biochip/CMakeFiles/msynth_biochip.dir/chip_spec.cpp.o" "gcc" "src/biochip/CMakeFiles/msynth_biochip.dir/chip_spec.cpp.o.d"
+  "/root/repo/src/biochip/component.cpp" "src/biochip/CMakeFiles/msynth_biochip.dir/component.cpp.o" "gcc" "src/biochip/CMakeFiles/msynth_biochip.dir/component.cpp.o.d"
+  "/root/repo/src/biochip/component_library.cpp" "src/biochip/CMakeFiles/msynth_biochip.dir/component_library.cpp.o" "gcc" "src/biochip/CMakeFiles/msynth_biochip.dir/component_library.cpp.o.d"
+  "/root/repo/src/biochip/cost_model.cpp" "src/biochip/CMakeFiles/msynth_biochip.dir/cost_model.cpp.o" "gcc" "src/biochip/CMakeFiles/msynth_biochip.dir/cost_model.cpp.o.d"
+  "/root/repo/src/biochip/wash_model.cpp" "src/biochip/CMakeFiles/msynth_biochip.dir/wash_model.cpp.o" "gcc" "src/biochip/CMakeFiles/msynth_biochip.dir/wash_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/msynth_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

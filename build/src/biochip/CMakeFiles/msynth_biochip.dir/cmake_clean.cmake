@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msynth_biochip.dir/chip_spec.cpp.o"
+  "CMakeFiles/msynth_biochip.dir/chip_spec.cpp.o.d"
+  "CMakeFiles/msynth_biochip.dir/component.cpp.o"
+  "CMakeFiles/msynth_biochip.dir/component.cpp.o.d"
+  "CMakeFiles/msynth_biochip.dir/component_library.cpp.o"
+  "CMakeFiles/msynth_biochip.dir/component_library.cpp.o.d"
+  "CMakeFiles/msynth_biochip.dir/cost_model.cpp.o"
+  "CMakeFiles/msynth_biochip.dir/cost_model.cpp.o.d"
+  "CMakeFiles/msynth_biochip.dir/wash_model.cpp.o"
+  "CMakeFiles/msynth_biochip.dir/wash_model.cpp.o.d"
+  "libmsynth_biochip.a"
+  "libmsynth_biochip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msynth_biochip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+src/biochip/CMakeFiles/msynth_biochip.dir/cost_model.cpp.o: \
+ /root/repo/src/biochip/cost_model.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/biochip/cost_model.hpp

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msynth_core.dir/comparison.cpp.o"
+  "CMakeFiles/msynth_core.dir/comparison.cpp.o.d"
+  "CMakeFiles/msynth_core.dir/dse.cpp.o"
+  "CMakeFiles/msynth_core.dir/dse.cpp.o.d"
+  "CMakeFiles/msynth_core.dir/synthesis.cpp.o"
+  "CMakeFiles/msynth_core.dir/synthesis.cpp.o.d"
+  "libmsynth_core.a"
+  "libmsynth_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msynth_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/assay_parser.cpp" "src/graph/CMakeFiles/msynth_graph.dir/assay_parser.cpp.o" "gcc" "src/graph/CMakeFiles/msynth_graph.dir/assay_parser.cpp.o.d"
+  "/root/repo/src/graph/graph_algorithms.cpp" "src/graph/CMakeFiles/msynth_graph.dir/graph_algorithms.cpp.o" "gcc" "src/graph/CMakeFiles/msynth_graph.dir/graph_algorithms.cpp.o.d"
+  "/root/repo/src/graph/mixing.cpp" "src/graph/CMakeFiles/msynth_graph.dir/mixing.cpp.o" "gcc" "src/graph/CMakeFiles/msynth_graph.dir/mixing.cpp.o.d"
+  "/root/repo/src/graph/sequencing_graph.cpp" "src/graph/CMakeFiles/msynth_graph.dir/sequencing_graph.cpp.o" "gcc" "src/graph/CMakeFiles/msynth_graph.dir/sequencing_graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/biochip/CMakeFiles/msynth_biochip.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/msynth_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msynth_graph.dir/assay_parser.cpp.o"
+  "CMakeFiles/msynth_graph.dir/assay_parser.cpp.o.d"
+  "CMakeFiles/msynth_graph.dir/graph_algorithms.cpp.o"
+  "CMakeFiles/msynth_graph.dir/graph_algorithms.cpp.o.d"
+  "CMakeFiles/msynth_graph.dir/mixing.cpp.o"
+  "CMakeFiles/msynth_graph.dir/mixing.cpp.o.d"
+  "CMakeFiles/msynth_graph.dir/sequencing_graph.cpp.o"
+  "CMakeFiles/msynth_graph.dir/sequencing_graph.cpp.o.d"
+  "libmsynth_graph.a"
+  "libmsynth_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msynth_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

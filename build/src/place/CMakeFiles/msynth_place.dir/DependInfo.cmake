@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/place/connection_priority.cpp" "src/place/CMakeFiles/msynth_place.dir/connection_priority.cpp.o" "gcc" "src/place/CMakeFiles/msynth_place.dir/connection_priority.cpp.o.d"
+  "/root/repo/src/place/constructive_placer.cpp" "src/place/CMakeFiles/msynth_place.dir/constructive_placer.cpp.o" "gcc" "src/place/CMakeFiles/msynth_place.dir/constructive_placer.cpp.o.d"
+  "/root/repo/src/place/placement.cpp" "src/place/CMakeFiles/msynth_place.dir/placement.cpp.o" "gcc" "src/place/CMakeFiles/msynth_place.dir/placement.cpp.o.d"
+  "/root/repo/src/place/sa_placer.cpp" "src/place/CMakeFiles/msynth_place.dir/sa_placer.cpp.o" "gcc" "src/place/CMakeFiles/msynth_place.dir/sa_placer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/schedule/CMakeFiles/msynth_schedule.dir/DependInfo.cmake"
+  "/root/repo/build/src/biochip/CMakeFiles/msynth_biochip.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/msynth_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/msynth_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

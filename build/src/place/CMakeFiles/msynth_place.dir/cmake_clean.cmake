@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msynth_place.dir/connection_priority.cpp.o"
+  "CMakeFiles/msynth_place.dir/connection_priority.cpp.o.d"
+  "CMakeFiles/msynth_place.dir/constructive_placer.cpp.o"
+  "CMakeFiles/msynth_place.dir/constructive_placer.cpp.o.d"
+  "CMakeFiles/msynth_place.dir/placement.cpp.o"
+  "CMakeFiles/msynth_place.dir/placement.cpp.o.d"
+  "CMakeFiles/msynth_place.dir/sa_placer.cpp.o"
+  "CMakeFiles/msynth_place.dir/sa_placer.cpp.o.d"
+  "libmsynth_place.a"
+  "libmsynth_place.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msynth_place.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

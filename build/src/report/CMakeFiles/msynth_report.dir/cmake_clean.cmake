@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msynth_report.dir/gantt.cpp.o"
+  "CMakeFiles/msynth_report.dir/gantt.cpp.o.d"
+  "CMakeFiles/msynth_report.dir/json.cpp.o"
+  "CMakeFiles/msynth_report.dir/json.cpp.o.d"
+  "CMakeFiles/msynth_report.dir/svg.cpp.o"
+  "CMakeFiles/msynth_report.dir/svg.cpp.o.d"
+  "CMakeFiles/msynth_report.dir/table.cpp.o"
+  "CMakeFiles/msynth_report.dir/table.cpp.o.d"
+  "libmsynth_report.a"
+  "libmsynth_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msynth_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

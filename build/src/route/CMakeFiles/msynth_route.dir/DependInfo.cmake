@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/route/control_estimate.cpp" "src/route/CMakeFiles/msynth_route.dir/control_estimate.cpp.o" "gcc" "src/route/CMakeFiles/msynth_route.dir/control_estimate.cpp.o.d"
+  "/root/repo/src/route/control_router.cpp" "src/route/CMakeFiles/msynth_route.dir/control_router.cpp.o" "gcc" "src/route/CMakeFiles/msynth_route.dir/control_router.cpp.o.d"
+  "/root/repo/src/route/grid.cpp" "src/route/CMakeFiles/msynth_route.dir/grid.cpp.o" "gcc" "src/route/CMakeFiles/msynth_route.dir/grid.cpp.o.d"
+  "/root/repo/src/route/pressure_ports.cpp" "src/route/CMakeFiles/msynth_route.dir/pressure_ports.cpp.o" "gcc" "src/route/CMakeFiles/msynth_route.dir/pressure_ports.cpp.o.d"
+  "/root/repo/src/route/router.cpp" "src/route/CMakeFiles/msynth_route.dir/router.cpp.o" "gcc" "src/route/CMakeFiles/msynth_route.dir/router.cpp.o.d"
+  "/root/repo/src/route/types.cpp" "src/route/CMakeFiles/msynth_route.dir/types.cpp.o" "gcc" "src/route/CMakeFiles/msynth_route.dir/types.cpp.o.d"
+  "/root/repo/src/route/validator.cpp" "src/route/CMakeFiles/msynth_route.dir/validator.cpp.o" "gcc" "src/route/CMakeFiles/msynth_route.dir/validator.cpp.o.d"
+  "/root/repo/src/route/wash_planner.cpp" "src/route/CMakeFiles/msynth_route.dir/wash_planner.cpp.o" "gcc" "src/route/CMakeFiles/msynth_route.dir/wash_planner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/place/CMakeFiles/msynth_place.dir/DependInfo.cmake"
+  "/root/repo/build/src/schedule/CMakeFiles/msynth_schedule.dir/DependInfo.cmake"
+  "/root/repo/build/src/biochip/CMakeFiles/msynth_biochip.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/msynth_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/msynth_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msynth_route.dir/control_estimate.cpp.o"
+  "CMakeFiles/msynth_route.dir/control_estimate.cpp.o.d"
+  "CMakeFiles/msynth_route.dir/control_router.cpp.o"
+  "CMakeFiles/msynth_route.dir/control_router.cpp.o.d"
+  "CMakeFiles/msynth_route.dir/grid.cpp.o"
+  "CMakeFiles/msynth_route.dir/grid.cpp.o.d"
+  "CMakeFiles/msynth_route.dir/pressure_ports.cpp.o"
+  "CMakeFiles/msynth_route.dir/pressure_ports.cpp.o.d"
+  "CMakeFiles/msynth_route.dir/router.cpp.o"
+  "CMakeFiles/msynth_route.dir/router.cpp.o.d"
+  "CMakeFiles/msynth_route.dir/types.cpp.o"
+  "CMakeFiles/msynth_route.dir/types.cpp.o.d"
+  "CMakeFiles/msynth_route.dir/validator.cpp.o"
+  "CMakeFiles/msynth_route.dir/validator.cpp.o.d"
+  "CMakeFiles/msynth_route.dir/wash_planner.cpp.o"
+  "CMakeFiles/msynth_route.dir/wash_planner.cpp.o.d"
+  "libmsynth_route.a"
+  "libmsynth_route.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msynth_route.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

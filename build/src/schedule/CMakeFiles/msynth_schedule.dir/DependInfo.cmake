@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/schedule/dedicated_scheduler.cpp" "src/schedule/CMakeFiles/msynth_schedule.dir/dedicated_scheduler.cpp.o" "gcc" "src/schedule/CMakeFiles/msynth_schedule.dir/dedicated_scheduler.cpp.o.d"
+  "/root/repo/src/schedule/list_scheduler.cpp" "src/schedule/CMakeFiles/msynth_schedule.dir/list_scheduler.cpp.o" "gcc" "src/schedule/CMakeFiles/msynth_schedule.dir/list_scheduler.cpp.o.d"
+  "/root/repo/src/schedule/metrics.cpp" "src/schedule/CMakeFiles/msynth_schedule.dir/metrics.cpp.o" "gcc" "src/schedule/CMakeFiles/msynth_schedule.dir/metrics.cpp.o.d"
+  "/root/repo/src/schedule/optimal_scheduler.cpp" "src/schedule/CMakeFiles/msynth_schedule.dir/optimal_scheduler.cpp.o" "gcc" "src/schedule/CMakeFiles/msynth_schedule.dir/optimal_scheduler.cpp.o.d"
+  "/root/repo/src/schedule/retiming.cpp" "src/schedule/CMakeFiles/msynth_schedule.dir/retiming.cpp.o" "gcc" "src/schedule/CMakeFiles/msynth_schedule.dir/retiming.cpp.o.d"
+  "/root/repo/src/schedule/types.cpp" "src/schedule/CMakeFiles/msynth_schedule.dir/types.cpp.o" "gcc" "src/schedule/CMakeFiles/msynth_schedule.dir/types.cpp.o.d"
+  "/root/repo/src/schedule/validator.cpp" "src/schedule/CMakeFiles/msynth_schedule.dir/validator.cpp.o" "gcc" "src/schedule/CMakeFiles/msynth_schedule.dir/validator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/msynth_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/biochip/CMakeFiles/msynth_biochip.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/msynth_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

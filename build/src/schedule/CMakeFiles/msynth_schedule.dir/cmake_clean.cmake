@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msynth_schedule.dir/dedicated_scheduler.cpp.o"
+  "CMakeFiles/msynth_schedule.dir/dedicated_scheduler.cpp.o.d"
+  "CMakeFiles/msynth_schedule.dir/list_scheduler.cpp.o"
+  "CMakeFiles/msynth_schedule.dir/list_scheduler.cpp.o.d"
+  "CMakeFiles/msynth_schedule.dir/metrics.cpp.o"
+  "CMakeFiles/msynth_schedule.dir/metrics.cpp.o.d"
+  "CMakeFiles/msynth_schedule.dir/optimal_scheduler.cpp.o"
+  "CMakeFiles/msynth_schedule.dir/optimal_scheduler.cpp.o.d"
+  "CMakeFiles/msynth_schedule.dir/retiming.cpp.o"
+  "CMakeFiles/msynth_schedule.dir/retiming.cpp.o.d"
+  "CMakeFiles/msynth_schedule.dir/types.cpp.o"
+  "CMakeFiles/msynth_schedule.dir/types.cpp.o.d"
+  "CMakeFiles/msynth_schedule.dir/validator.cpp.o"
+  "CMakeFiles/msynth_schedule.dir/validator.cpp.o.d"
+  "libmsynth_schedule.a"
+  "libmsynth_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msynth_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

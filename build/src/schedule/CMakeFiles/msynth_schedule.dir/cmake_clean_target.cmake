@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmsynth_schedule.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msynth_sim.dir/chip_simulator.cpp.o"
+  "CMakeFiles/msynth_sim.dir/chip_simulator.cpp.o.d"
+  "libmsynth_sim.a"
+  "libmsynth_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msynth_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

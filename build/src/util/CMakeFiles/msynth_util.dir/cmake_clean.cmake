@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msynth_util.dir/geometry.cpp.o"
+  "CMakeFiles/msynth_util.dir/geometry.cpp.o.d"
+  "CMakeFiles/msynth_util.dir/interval_set.cpp.o"
+  "CMakeFiles/msynth_util.dir/interval_set.cpp.o.d"
+  "CMakeFiles/msynth_util.dir/strings.cpp.o"
+  "CMakeFiles/msynth_util.dir/strings.cpp.o.d"
+  "libmsynth_util.a"
+  "libmsynth_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msynth_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

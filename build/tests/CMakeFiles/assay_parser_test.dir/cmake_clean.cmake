@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/assay_parser_test.dir/assay_parser_test.cpp.o"
+  "CMakeFiles/assay_parser_test.dir/assay_parser_test.cpp.o.d"
+  "assay_parser_test"
+  "assay_parser_test.pdb"
+  "assay_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/assay_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chip_simulator_test.dir/chip_simulator_test.cpp.o"
+  "CMakeFiles/chip_simulator_test.dir/chip_simulator_test.cpp.o.d"
+  "chip_simulator_test"
+  "chip_simulator_test.pdb"
+  "chip_simulator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chip_simulator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/connection_priority_test.dir/connection_priority_test.cpp.o"
+  "CMakeFiles/connection_priority_test.dir/connection_priority_test.cpp.o.d"
+  "connection_priority_test"
+  "connection_priority_test.pdb"
+  "connection_priority_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/connection_priority_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/control_estimate_test.dir/control_estimate_test.cpp.o"
+  "CMakeFiles/control_estimate_test.dir/control_estimate_test.cpp.o.d"
+  "control_estimate_test"
+  "control_estimate_test.pdb"
+  "control_estimate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/control_estimate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

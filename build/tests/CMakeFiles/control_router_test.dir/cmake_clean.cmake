@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/control_router_test.dir/control_router_test.cpp.o"
+  "CMakeFiles/control_router_test.dir/control_router_test.cpp.o.d"
+  "control_router_test"
+  "control_router_test.pdb"
+  "control_router_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/control_router_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

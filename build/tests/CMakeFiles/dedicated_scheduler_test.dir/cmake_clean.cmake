@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dedicated_scheduler_test.dir/dedicated_scheduler_test.cpp.o"
+  "CMakeFiles/dedicated_scheduler_test.dir/dedicated_scheduler_test.cpp.o.d"
+  "dedicated_scheduler_test"
+  "dedicated_scheduler_test.pdb"
+  "dedicated_scheduler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dedicated_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/merge_graphs_test.dir/merge_graphs_test.cpp.o"
+  "CMakeFiles/merge_graphs_test.dir/merge_graphs_test.cpp.o.d"
+  "merge_graphs_test"
+  "merge_graphs_test.pdb"
+  "merge_graphs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/merge_graphs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimal_scheduler_test.dir/optimal_scheduler_test.cpp.o"
+  "CMakeFiles/optimal_scheduler_test.dir/optimal_scheduler_test.cpp.o.d"
+  "optimal_scheduler_test"
+  "optimal_scheduler_test.pdb"
+  "optimal_scheduler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimal_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

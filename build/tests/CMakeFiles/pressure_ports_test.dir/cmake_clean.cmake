@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pressure_ports_test.dir/pressure_ports_test.cpp.o"
+  "CMakeFiles/pressure_ports_test.dir/pressure_ports_test.cpp.o.d"
+  "pressure_ports_test"
+  "pressure_ports_test.pdb"
+  "pressure_ports_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pressure_ports_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sa_engine_test.dir/sa_engine_test.cpp.o"
+  "CMakeFiles/sa_engine_test.dir/sa_engine_test.cpp.o.d"
+  "sa_engine_test"
+  "sa_engine_test.pdb"
+  "sa_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sa_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

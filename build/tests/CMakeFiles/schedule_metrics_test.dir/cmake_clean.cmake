@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schedule_metrics_test.dir/schedule_metrics_test.cpp.o"
+  "CMakeFiles/schedule_metrics_test.dir/schedule_metrics_test.cpp.o.d"
+  "schedule_metrics_test"
+  "schedule_metrics_test.pdb"
+  "schedule_metrics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schedule_metrics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

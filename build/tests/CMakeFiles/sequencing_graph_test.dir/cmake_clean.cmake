@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sequencing_graph_test.dir/sequencing_graph_test.cpp.o"
+  "CMakeFiles/sequencing_graph_test.dir/sequencing_graph_test.cpp.o.d"
+  "sequencing_graph_test"
+  "sequencing_graph_test.pdb"
+  "sequencing_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sequencing_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

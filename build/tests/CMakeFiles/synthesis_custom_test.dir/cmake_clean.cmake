@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synthesis_custom_test.dir/synthesis_custom_test.cpp.o"
+  "CMakeFiles/synthesis_custom_test.dir/synthesis_custom_test.cpp.o.d"
+  "synthesis_custom_test"
+  "synthesis_custom_test.pdb"
+  "synthesis_custom_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synthesis_custom_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

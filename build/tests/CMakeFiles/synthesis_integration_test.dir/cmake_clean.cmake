@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synthesis_integration_test.dir/synthesis_integration_test.cpp.o"
+  "CMakeFiles/synthesis_integration_test.dir/synthesis_integration_test.cpp.o.d"
+  "synthesis_integration_test"
+  "synthesis_integration_test.pdb"
+  "synthesis_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synthesis_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/validator_negative_test.cpp" "tests/CMakeFiles/validator_negative_test.dir/validator_negative_test.cpp.o" "gcc" "tests/CMakeFiles/validator_negative_test.dir/validator_negative_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/msynth_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/msynth_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/bench_suite/CMakeFiles/msynth_bench_suite.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/msynth_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/route/CMakeFiles/msynth_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/place/CMakeFiles/msynth_place.dir/DependInfo.cmake"
+  "/root/repo/build/src/schedule/CMakeFiles/msynth_schedule.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/msynth_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/biochip/CMakeFiles/msynth_biochip.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/msynth_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

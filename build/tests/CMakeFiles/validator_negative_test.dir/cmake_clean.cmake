@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validator_negative_test.dir/validator_negative_test.cpp.o"
+  "CMakeFiles/validator_negative_test.dir/validator_negative_test.cpp.o.d"
+  "validator_negative_test"
+  "validator_negative_test.pdb"
+  "validator_negative_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validator_negative_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

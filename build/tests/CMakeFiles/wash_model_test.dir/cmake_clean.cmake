@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wash_model_test.dir/wash_model_test.cpp.o"
+  "CMakeFiles/wash_model_test.dir/wash_model_test.cpp.o.d"
+  "wash_model_test"
+  "wash_model_test.pdb"
+  "wash_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wash_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

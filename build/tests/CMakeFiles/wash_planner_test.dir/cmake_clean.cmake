@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wash_planner_test.dir/wash_planner_test.cpp.o"
+  "CMakeFiles/wash_planner_test.dir/wash_planner_test.cpp.o.d"
+  "wash_planner_test"
+  "wash_planner_test.pdb"
+  "wash_planner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wash_planner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
