@@ -16,6 +16,7 @@
 
 #pragma once
 
+#include <array>
 #include <map>
 #include <optional>
 
@@ -55,6 +56,14 @@ class WashModel {
   /// time equals `seconds`, clamped to the anchored range. Useful when a
   /// benchmark is specified by wash times rather than coefficients.
   double diffusion_for_wash_time(double seconds) const;
+
+  /// Model anchors in (d_fast, t_fast, d_slow, t_slow) order and the pinned
+  /// per-coefficient overrides. Exposed so callers can fingerprint a model
+  /// (runtime result cache) or serialize it; not needed for wash queries.
+  std::array<double, 4> anchors() const {
+    return {d_fast_, t_fast_, d_slow_, t_slow_};
+  }
+  const std::map<double, double>& overrides() const { return overrides_; }
 
  private:
   double d_fast_ = 1e-5;   // high-D anchor

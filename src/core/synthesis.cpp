@@ -34,13 +34,16 @@ RoutingResult route_until_consistent(Schedule& schedule,
                                      const ChipSpec& chip,
                                      const Placement& placement,
                                      const WashModel& wash_model,
-                                     const RouterOptions& router_options) {
+                                     const RouterOptions& router_options,
+                                     StageTimes& stages) {
   constexpr int kMaxRounds = 20;
   int postponements = 0;
   for (int round = 0;; ++round) {
+    const auto route_start = Clock::now();
     RoutingGrid grid(chip, allocation, placement);
     RoutingResult routing =
         route_transports(grid, schedule, wash_model, router_options);
+    stages.route += seconds_since(route_start);
     const bool any_delay =
         std::any_of(routing.delays.begin(), routing.delays.end(),
                     [](double d) { return d > 0.0; });
@@ -49,12 +52,16 @@ RoutingResult route_until_consistent(Schedule& schedule,
       if (any_delay) {
         FBMB_WARN("routing still postponing after " << kMaxRounds
                                                     << " rounds");
+        const auto retime_start = Clock::now();
         apply_transport_delays(schedule, graph, routing.delays);
+        stages.retime += seconds_since(retime_start);
       }
       routing.conflict_postponements = postponements;
       return routing;
     }
+    const auto retime_start = Clock::now();
     apply_transport_delays(schedule, graph, routing.delays);
+    stages.retime += seconds_since(retime_start);
   }
 }
 
@@ -95,21 +102,41 @@ SynthesisResult synthesize_custom(const SequencingGraph& graph,
                                   const WashModel& wash_model,
                                   const SynthesisOptions& options) {
   const auto t0 = Clock::now();
+  StageTimes stages;
+
+  // Schedule with refinement split out so the two stages are timed
+  // separately; schedule_bioassay's refine_storage path runs the identical
+  // refine_channel_storage pass as its final step, so the split result is
+  // bit-identical.
+  auto schedule_start = Clock::now();
+  SchedulerOptions scheduler_options = options.scheduler;
+  scheduler_options.refine_storage = false;
   Schedule schedule =
-      schedule_bioassay(graph, allocation, wash_model, options.scheduler);
+      schedule_bioassay(graph, allocation, wash_model, scheduler_options);
+  stages.schedule = seconds_since(schedule_start);
+  if (options.scheduler.refine_storage) {
+    const auto refine_start = Clock::now();
+    refine_channel_storage(schedule);
+    stages.refine = seconds_since(refine_start);
+  }
 
   const ChipSpec chip = derive_grid(
       options.chip,
       allocation_area(allocation, options.chip.component_spacing));
 
   if (options.placement == PlacementStrategy::kConstructive) {
+    const auto place_start = Clock::now();
     Placement placement = place_components_baseline(
         allocation, schedule, chip, options.baseline_placer);
+    stages.place = seconds_since(place_start);
     RoutingResult routing =
         route_until_consistent(schedule, graph, allocation, chip, placement,
-                               wash_model, options.router);
-    return finish(allocation, std::move(schedule), std::move(placement),
-                  std::move(routing), chip, t0);
+                               wash_model, options.router, stages);
+    SynthesisResult result =
+        finish(allocation, std::move(schedule), std::move(placement),
+               std::move(routing), chip, t0);
+    result.stage_seconds = stages;
+    return result;
   }
 
   // SA placement: route every restart's placement and keep the best
@@ -117,15 +144,17 @@ SynthesisResult synthesize_custom(const SequencingGraph& graph,
   // objective), then channel length, then wash time. Placement energy
   // (Eq. 3) is only a proxy for these, so selection happens on the routed
   // metrics.
+  const auto place_start = Clock::now();
   std::vector<Placement> candidates = place_component_candidates(
       allocation, schedule, wash_model, chip, options.placer);
+  stages.place = seconds_since(place_start);
   SynthesisResult best;
   bool have_best = false;
   for (Placement& placement : candidates) {
     Schedule trial_schedule = schedule;
     RoutingResult routing =
         route_until_consistent(trial_schedule, graph, allocation, chip,
-                               placement, wash_model, options.router);
+                               placement, wash_model, options.router, stages);
     SynthesisResult result =
         finish(allocation, std::move(trial_schedule), std::move(placement),
                std::move(routing), chip, t0);
@@ -139,6 +168,7 @@ SynthesisResult synthesize_custom(const SequencingGraph& graph,
     }
   }
   best.cpu_seconds = seconds_since(t0);
+  best.stage_seconds = stages;
   return best;
 }
 

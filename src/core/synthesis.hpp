@@ -44,6 +44,19 @@ struct SynthesisOptions {
   PlacementStrategy placement = PlacementStrategy::kSimulatedAnnealing;
 };
 
+/// Wall time spent in each stage of one synthesis flow, in seconds. Filled
+/// by synthesize_custom (and therefore by both presets); the runtime
+/// telemetry layer aggregates these across batched jobs.
+struct StageTimes {
+  double schedule = 0.0;  ///< binding & list scheduling
+  double refine = 0.0;    ///< channel-storage refinement pass
+  double place = 0.0;     ///< placement (SA restarts + polish, or BA)
+  double route = 0.0;     ///< A* routing rounds (dominant stage)
+  double retime = 0.0;    ///< folding router postponements into the schedule
+
+  double total() const { return schedule + refine + place + route + retime; }
+};
+
 /// Everything a flow produces, plus the paper's reported metrics.
 struct SynthesisResult {
   Schedule schedule;      ///< final (post-retiming) schedule
@@ -58,6 +71,7 @@ struct SynthesisResult {
   double total_cache_time = 0.0;         ///< Fig. 8 metric (s)
   double channel_wash_time = 0.0;        ///< Fig. 9 metric (s)
   double cpu_seconds = 0.0;              ///< wall time of the flow
+  StageTimes stage_seconds;              ///< per-stage breakdown of cpu_seconds
 
   std::string summary() const;
 };

@@ -127,6 +127,11 @@ Placement random_placement(const Allocation& allocation,
 
 namespace {
 
+/// Domain-separation tag ("SA_PLACE" in ASCII) XORed into the user seed
+/// before forking per-restart streams, so another subsystem forking from
+/// the same seed draws unrelated randomness.
+constexpr std::uint64_t kSeedDomain = 0x53415F504C414345ULL;
+
 /// Shared implementation: one polished SA run per restart. Returns
 /// (placement, energy) pairs in restart order.
 std::vector<std::pair<Placement, double>> run_sa_restarts(
@@ -217,19 +222,40 @@ std::vector<std::pair<Placement, double>> run_sa_restarts(
     return e_best;
   };
 
-  std::vector<std::pair<Placement, double>> results;
+  // Each restart is an independent task: its Rng is forked from the master
+  // seed by index and it writes only its own slot, so running the tasks
+  // serially or through options.restart_executor (any order, any number of
+  // threads) yields bit-identical results.
   const int restarts = std::max(1, options.restarts);
+  std::vector<std::pair<Placement, double>> results(
+      static_cast<std::size_t>(restarts));
+  std::vector<long> proposals(static_cast<std::size_t>(restarts), 0);
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(static_cast<std::size_t>(restarts));
   for (int restart = 0; restart < restarts; ++restart) {
-    Rng rng(options.seed +
-            0x9E3779B97F4A7C15ULL * static_cast<std::uint64_t>(restart));
-    Placement initial = random_placement(allocation, spec, rng);
-    auto [best, stats] = anneal(std::move(initial), energy, propose,
-                                options.sa, rng);
-    const double e = polish(best);
-    FBMB_INFO("SA placement restart " << restart << ": energy " << e
-                                      << " after " << stats.proposals
-                                      << " proposals");
-    results.emplace_back(std::move(best), e);
+    tasks.push_back([&, restart] {
+      Rng rng(fork_seed(options.seed ^ kSeedDomain,
+                        static_cast<std::uint64_t>(restart)));
+      Placement initial = random_placement(allocation, spec, rng);
+      auto [best, stats] = anneal(std::move(initial), energy, propose,
+                                  options.sa, rng);
+      const double e = polish(best);
+      const auto slot = static_cast<std::size_t>(restart);
+      proposals[slot] = stats.proposals;
+      results[slot] = {std::move(best), e};
+    });
+  }
+  if (options.restart_executor) {
+    options.restart_executor(tasks);
+  } else {
+    for (auto& task : tasks) task();
+  }
+  for (int restart = 0; restart < restarts; ++restart) {
+    FBMB_INFO("SA placement restart "
+              << restart << ": energy "
+              << results[static_cast<std::size_t>(restart)].second
+              << " after " << proposals[static_cast<std::size_t>(restart)]
+              << " proposals");
   }
   return results;
 }

@@ -10,6 +10,8 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <vector>
 
 #include "biochip/chip_spec.hpp"
 #include "biochip/component_library.hpp"
@@ -32,6 +34,13 @@ struct PlacerOptions {
   /// placement wins. Still deterministic for a fixed `seed`.
   int restarts = 3;
   std::uint64_t seed = 1;     ///< deterministic placement per seed
+  /// Optional executor for the restart tasks. Each task is self-contained
+  /// (restart i seeds its own Rng via fork_seed(seed, i) and writes only
+  /// slot i of the result vector), so the executor may run them in any
+  /// order or concurrently — the outcome is bit-identical to the serial
+  /// default (nullptr: run in index order on the calling thread). Execution
+  /// policy only; never part of a result fingerprint.
+  std::function<void(std::vector<std::function<void()>>&)> restart_executor;
 };
 
 /// Eq. 3 energy of a placement under the given nets, plus

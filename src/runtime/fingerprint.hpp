@@ -1,0 +1,79 @@
+// Content-addressed fingerprints of synthesis inputs.
+//
+// A Fingerprint is a 128-bit digest (two FNV-1a streams with different
+// offset bases over the same byte sequence) of everything that determines a
+// synthesis result: the sequencing graph, the allocation, the wash model,
+// the chip spec, every option struct, and the flow preset. Equal inputs
+// always hash equal; unequal inputs collide with probability ~2^-128 per
+// pair, which the result cache treats as never. Execution policy — thread
+// counts, the restart executor hook — is deliberately excluded: it cannot
+// change the result (see docs/RUNTIME.md).
+//
+// Doubles are hashed by their IEEE-754 bit pattern (bit_cast), strings with
+// a length prefix, containers element-wise in iteration order; every field
+// is fed in a fixed documented order, so fingerprints are stable within one
+// library version (they are NOT a cross-version archive format).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/synthesis.hpp"
+
+namespace fbmb {
+
+struct Fingerprint {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+
+  friend auto operator<=>(const Fingerprint&, const Fingerprint&) = default;
+
+  /// 32 lowercase hex digits, e.g. for cache-spill keys and logs.
+  std::string to_hex() const;
+
+  /// Parses to_hex output; returns false on malformed input.
+  static bool from_hex(const std::string& hex, Fingerprint& out);
+};
+
+struct FingerprintHasher {
+  std::size_t operator()(const Fingerprint& fp) const noexcept {
+    return static_cast<std::size_t>(fp.lo ^ (fp.hi * 0x9E3779B97F4A7C15ULL));
+  }
+};
+
+/// Streaming dual-FNV-1a hasher over typed fields.
+class InputHasher {
+ public:
+  void bytes(const void* data, std::size_t size);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v);
+  void boolean(bool v) { u64(v ? 1 : 0); }
+  void str(const std::string& s);
+
+  Fingerprint digest() const { return {lo_, hi_}; }
+
+ private:
+  std::uint64_t lo_ = 0xcbf29ce484222325ULL;  // FNV-1a 64 offset basis
+  std::uint64_t hi_ = 0x6c62272e07bb0142ULL;  // FNV-1a 128's upper basis word
+};
+
+/// Which preset wrapper a job runs through (part of the fingerprint: the
+/// presets force options before calling synthesize_custom).
+enum class FlowPreset {
+  kDcsa,      ///< synthesize_dcsa
+  kBaseline,  ///< synthesize_baseline
+  kCustom,    ///< synthesize_custom with the options verbatim
+};
+
+const char* flow_preset_name(FlowPreset preset);
+
+/// Digest of one synthesis job's complete input.
+Fingerprint fingerprint_inputs(const SequencingGraph& graph,
+                               const Allocation& allocation,
+                               const WashModel& wash_model,
+                               const SynthesisOptions& options,
+                               FlowPreset preset);
+
+}  // namespace fbmb

@@ -1,0 +1,79 @@
+// Content-addressed, LRU-bounded synthesis result cache.
+//
+// Keys are 128-bit input fingerprints (runtime/fingerprint.hpp); values are
+// complete SynthesisResults. lookup() refreshes recency; insert() evicts the
+// least-recently-used entry once `capacity` is exceeded. All operations are
+// thread-safe — the synthesis engine's job workers hit one shared cache.
+//
+// save_json()/load_json() spill the cache to disk and reload it in a later
+// process, so repeated sweeps (bench reruns, CI) skip recomputation
+// entirely. The spill stores results losslessly (%.17g doubles): a loaded
+// hit is bit-identical to the original computation. Fingerprints are not
+// stable across library versions, so a version mismatch simply misses.
+
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "core/synthesis.hpp"
+#include "runtime/fingerprint.hpp"
+
+namespace fbmb {
+
+class ResultCache {
+ public:
+  /// Keeps at most `capacity` results (>= 1).
+  explicit ResultCache(std::size_t capacity = 128);
+
+  /// Returns a copy of the cached result and refreshes its recency, or
+  /// nullopt. Counts a hit or a miss.
+  std::optional<SynthesisResult> lookup(const Fingerprint& key);
+
+  /// True iff `key` is cached; does not touch recency or counters.
+  bool contains(const Fingerprint& key) const;
+
+  /// Inserts (or overwrites) the entry and marks it most recently used,
+  /// evicting the LRU entry when over capacity.
+  void insert(const Fingerprint& key, SynthesisResult result);
+
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+  std::uint64_t evictions() const;
+
+  void clear();
+
+  /// Writes all entries (most recent first) as one JSON document. Returns
+  /// false on I/O failure.
+  bool save_json(const std::string& path) const;
+
+  /// Merges entries from a spill file into the cache (existing keys keep
+  /// the in-memory value). Returns the number of entries loaded; malformed
+  /// files load nothing and return 0.
+  std::size_t load_json(const std::string& path);
+
+ private:
+  using Entry = std::pair<Fingerprint, SynthesisResult>;
+
+  void insert_locked(const Fingerprint& key, SynthesisResult result,
+                     bool keep_existing);
+
+  mutable std::mutex mutex_;
+  std::size_t capacity_;
+  std::list<Entry> entries_;  ///< front = most recently used
+  std::unordered_map<Fingerprint, std::list<Entry>::iterator,
+                     FingerprintHasher>
+      index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace fbmb

@@ -1,0 +1,56 @@
+// Lossless JSON round-trip of SynthesisResult, used by the result cache's
+// spill-to-disk and loadable by external tooling. Doubles are printed with
+// %.17g so every IEEE-754 value round-trips bit-exactly: a result loaded
+// from disk is indistinguishable from the freshly computed one.
+//
+// The reader is a small recursive-descent JSON parser (objects, arrays,
+// strings, numbers, booleans, null) — enough for documents this module and
+// the report layer emit; it is not a general-purpose validating parser. It
+// is exposed (namespace jsonio) so the result cache can parse its spill
+// envelope with the same machinery.
+
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/synthesis.hpp"
+
+namespace fbmb {
+
+namespace jsonio {
+
+/// A parsed JSON value. Object members keep insertion order.
+struct Value {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool b = false;
+  double num = 0.0;
+  std::string str;
+  std::vector<Value> array;
+  std::vector<std::pair<std::string, Value>> object;
+
+  /// First member named `key`, or nullptr (valid on objects only).
+  const Value* find(const std::string& key) const;
+};
+
+/// Parses a complete JSON document; nullopt on any syntax error.
+std::optional<Value> parse(const std::string& text);
+
+}  // namespace jsonio
+
+/// The complete result as one JSON object (schema in docs/RUNTIME.md).
+std::string synthesis_result_to_json(const SynthesisResult& result);
+
+/// Inverse of synthesis_result_to_json. Returns nullopt on malformed or
+/// schema-incompatible input.
+std::optional<SynthesisResult> synthesis_result_from_json(
+    const std::string& json);
+
+/// Same, from an already-parsed JSON object.
+std::optional<SynthesisResult> synthesis_result_from_value(
+    const jsonio::Value& root);
+
+}  // namespace fbmb

@@ -1,0 +1,154 @@
+#include "runtime/synthesis_engine.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <exception>
+#include <future>
+#include <sstream>
+#include <utility>
+
+#include "report/json.hpp"
+
+namespace fbmb {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+std::string number(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+SynthesisEngine::SynthesisEngine(SynthesisEngineOptions options)
+    : options_(options),
+      pool_(options.threads, options.queue_capacity),
+      cache_(options.cache_capacity) {}
+
+std::vector<JobOutcome> SynthesisEngine::run_batch(
+    const std::vector<SynthesisJob>& jobs) {
+  std::vector<std::future<JobOutcome>> futures;
+  futures.reserve(jobs.size());
+  for (const SynthesisJob& job : jobs) {
+    telemetry_.job_submitted();
+    futures.push_back(pool_.submit([this, &job] { return execute(job); }));
+    telemetry_.record_queue_depth(pool_.pending());
+  }
+  std::vector<JobOutcome> outcomes;
+  outcomes.reserve(jobs.size());
+  std::exception_ptr first_error;
+  for (std::future<JobOutcome>& future : futures) {
+    try {
+      outcomes.push_back(future.get());
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+      outcomes.emplace_back();  // placeholder keeps job order aligned
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+  return outcomes;
+}
+
+JobOutcome SynthesisEngine::run_job(const SynthesisJob& job) {
+  telemetry_.job_submitted();
+  return execute(job);
+}
+
+JobOutcome SynthesisEngine::execute(const SynthesisJob& job) {
+  telemetry_.job_started();
+  const auto t0 = Clock::now();
+  JobOutcome outcome;
+  outcome.name = job.name;
+  outcome.fingerprint = fingerprint_inputs(job.graph, job.allocation,
+                                           job.wash, job.options, job.flow);
+  if (std::optional<SynthesisResult> cached =
+          cache_.lookup(outcome.fingerprint)) {
+    telemetry_.record_cache_hit();
+    outcome.result = std::move(*cached);
+    outcome.cache_hit = true;
+    outcome.wall_seconds = seconds_since(t0);
+    telemetry_.job_finished();
+    return outcome;
+  }
+  telemetry_.record_cache_miss();
+
+  SynthesisOptions options = job.options;
+  if (options_.parallel_restarts) {
+    // Restart tasks fork deterministic sub-seeds and fill indexed slots,
+    // so fanning them out over the shared pool is bit-identical to the
+    // serial loop. parallel_invoke makes the job thread participate, so a
+    // saturated pool degrades to inline execution instead of deadlocking.
+    options.placer.restart_executor =
+        [this](std::vector<std::function<void()>>& tasks) {
+          parallel_invoke(pool_, tasks);
+        };
+  }
+
+  try {
+    switch (job.flow) {
+      case FlowPreset::kDcsa:
+        outcome.result =
+            synthesize_dcsa(job.graph, job.allocation, job.wash, options);
+        break;
+      case FlowPreset::kBaseline:
+        outcome.result = synthesize_baseline(job.graph, job.allocation,
+                                             job.wash, options);
+        break;
+      case FlowPreset::kCustom:
+        outcome.result =
+            synthesize_custom(job.graph, job.allocation, job.wash, options);
+        break;
+    }
+  } catch (...) {
+    telemetry_.job_finished();
+    throw;
+  }
+
+  cache_.insert(outcome.fingerprint, outcome.result);
+  outcome.wall_seconds = seconds_since(t0);
+  telemetry_.record_stage_times(outcome.result.stage_seconds);
+  telemetry_.record_synthesis_seconds(outcome.wall_seconds);
+  telemetry_.job_finished();
+  return outcome;
+}
+
+std::string SynthesisEngine::telemetry_json(
+    const std::vector<JobOutcome>& outcomes) const {
+  std::ostringstream os;
+  os << "{\n  \"engine\": {\"threads\": " << pool_.thread_count()
+     << ", \"cache_capacity\": " << cache_.capacity()
+     << ", \"cache_size\": " << cache_.size()
+     << ", \"parallel_restarts\": "
+     << (options_.parallel_restarts ? "true" : "false")
+     << ", \"max_queue_depth\": " << pool_.max_queue_depth()
+     << "},\n  \"totals\": " << Telemetry::to_json(telemetry_.snapshot())
+     << ",\n  \"jobs\": [";
+  bool first = true;
+  for (const JobOutcome& outcome : outcomes) {
+    const StageTimes& st = outcome.result.stage_seconds;
+    os << (first ? "" : ",") << "\n    {\"name\": "
+       << json_quote(outcome.name) << ", \"fingerprint\": \""
+       << outcome.fingerprint.to_hex() << "\", \"cache_hit\": "
+       << (outcome.cache_hit ? "true" : "false")
+       << ", \"wall_seconds\": " << number(outcome.wall_seconds)
+       << ", \"stages\": {\"schedule\": " << number(st.schedule)
+       << ", \"refine\": " << number(st.refine)
+       << ", \"place\": " << number(st.place)
+       << ", \"route\": " << number(st.route)
+       << ", \"retime\": " << number(st.retime) << "}"
+       << ", \"completion_time\": "
+       << number(outcome.result.completion_time) << "}";
+    first = false;
+  }
+  os << "\n  ]\n}";
+  return os.str();
+}
+
+}  // namespace fbmb

@@ -1,0 +1,91 @@
+// Concurrent synthesis engine: fans synthesis jobs out over a thread pool,
+// parallelizes the SA placer's restarts inside each job, memoizes results
+// in a content-addressed cache, and records per-stage telemetry.
+//
+// Determinism contract: for a fixed seed, a batch run on any thread count
+// produces metrics bit-identical to calling the serial flows one by one.
+// Three properties make that hold:
+//   1. jobs are independent (each owns copies of its inputs),
+//   2. SA restarts fork deterministic sub-seeds (fork_seed(seed, i)) and
+//      write indexed slots, so concurrent restart execution cannot reorder
+//      the candidate list, and
+//   3. cached results are stored losslessly, so a hit returns exactly what
+//      the original computation produced.
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/synthesis.hpp"
+#include "runtime/fingerprint.hpp"
+#include "runtime/result_cache.hpp"
+#include "runtime/telemetry.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace fbmb {
+
+/// One unit of work: a named bioassay plus everything its flow needs. Jobs
+/// own their inputs so a batch can outlive (or run concurrently with) the
+/// scopes that built them.
+struct SynthesisJob {
+  std::string name;
+  SequencingGraph graph;
+  Allocation allocation;
+  WashModel wash;
+  SynthesisOptions options;
+  FlowPreset flow = FlowPreset::kDcsa;
+};
+
+/// A finished job, in submission order.
+struct JobOutcome {
+  std::string name;
+  SynthesisResult result;
+  Fingerprint fingerprint;
+  bool cache_hit = false;
+  double wall_seconds = 0.0;  ///< job wall time inside the engine
+};
+
+struct SynthesisEngineOptions {
+  std::size_t threads = 0;         ///< 0 = ThreadPool::default_thread_count
+  std::size_t queue_capacity = 1024;
+  std::size_t cache_capacity = 128;
+  /// Run each job's SA restarts as parallel tasks on the shared pool.
+  /// Off, restarts run serially inside the job (results are identical
+  /// either way).
+  bool parallel_restarts = true;
+};
+
+class SynthesisEngine {
+ public:
+  explicit SynthesisEngine(SynthesisEngineOptions options = {});
+
+  /// Runs every job across the pool; returns outcomes in job order. The
+  /// first job exception (SchedulingError, RoutingError, ...) is rethrown
+  /// after all jobs settled.
+  std::vector<JobOutcome> run_batch(const std::vector<SynthesisJob>& jobs);
+
+  /// Runs one job on the calling thread (still cached; restarts still use
+  /// the pool when parallel_restarts is on).
+  JobOutcome run_job(const SynthesisJob& job);
+
+  ResultCache& cache() { return cache_; }
+  const ResultCache& cache() const { return cache_; }
+  Telemetry& telemetry() { return telemetry_; }
+  const ThreadPool& pool() const { return pool_; }
+
+  /// Full batch report: engine configuration, aggregate telemetry
+  /// snapshot, and a per-job array with stage walls and cache flags.
+  std::string telemetry_json(const std::vector<JobOutcome>& outcomes) const;
+
+ private:
+  JobOutcome execute(const SynthesisJob& job);
+
+  SynthesisEngineOptions options_;
+  ThreadPool pool_;
+  ResultCache cache_;
+  Telemetry telemetry_;
+};
+
+}  // namespace fbmb

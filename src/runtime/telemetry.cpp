@@ -1,0 +1,83 @@
+#include "runtime/telemetry.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace fbmb {
+
+namespace {
+
+std::string number(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+void Telemetry::record_stage_times(const StageTimes& stages) {
+  add(stage_schedule_, stages.schedule);
+  add(stage_refine_, stages.refine);
+  add(stage_place_, stages.place);
+  add(stage_route_, stages.route);
+  add(stage_retime_, stages.retime);
+}
+
+void Telemetry::record_queue_depth(std::uint64_t depth) {
+  std::uint64_t current = max_queue_depth_.load(std::memory_order_relaxed);
+  while (depth > current &&
+         !max_queue_depth_.compare_exchange_weak(current, depth)) {
+  }
+}
+
+Telemetry::Snapshot Telemetry::snapshot() const {
+  Snapshot s;
+  s.stage_seconds.schedule = stage_schedule_.load();
+  s.stage_seconds.refine = stage_refine_.load();
+  s.stage_seconds.place = stage_place_.load();
+  s.stage_seconds.route = stage_route_.load();
+  s.stage_seconds.retime = stage_retime_.load();
+  s.synthesis_seconds = synthesis_seconds_.load();
+  s.cache_hits = cache_hits_.load();
+  s.cache_misses = cache_misses_.load();
+  s.jobs_submitted = jobs_submitted_.load();
+  s.jobs_completed = jobs_completed_.load();
+  s.jobs_in_flight = jobs_in_flight_.load();
+  s.max_queue_depth = max_queue_depth_.load();
+  return s;
+}
+
+void Telemetry::reset() {
+  stage_schedule_.store(0.0);
+  stage_refine_.store(0.0);
+  stage_place_.store(0.0);
+  stage_route_.store(0.0);
+  stage_retime_.store(0.0);
+  synthesis_seconds_.store(0.0);
+  cache_hits_.store(0);
+  cache_misses_.store(0);
+  jobs_submitted_.store(0);
+  jobs_completed_.store(0);
+  jobs_in_flight_.store(0);
+  max_queue_depth_.store(0);
+}
+
+std::string Telemetry::to_json(const Snapshot& s) {
+  std::ostringstream os;
+  os << "{\"stages\": {\"schedule\": " << number(s.stage_seconds.schedule)
+     << ", \"refine\": " << number(s.stage_seconds.refine)
+     << ", \"place\": " << number(s.stage_seconds.place)
+     << ", \"route\": " << number(s.stage_seconds.route)
+     << ", \"retime\": " << number(s.stage_seconds.retime)
+     << ", \"total\": " << number(s.stage_seconds.total())
+     << "}, \"cache\": {\"hits\": " << s.cache_hits
+     << ", \"misses\": " << s.cache_misses
+     << "}, \"jobs\": {\"submitted\": " << s.jobs_submitted
+     << ", \"completed\": " << s.jobs_completed
+     << ", \"in_flight\": " << s.jobs_in_flight
+     << "}, \"max_queue_depth\": " << s.max_queue_depth
+     << ", \"synthesis_seconds\": " << number(s.synthesis_seconds) << "}";
+  return os.str();
+}
+
+}  // namespace fbmb

@@ -1,0 +1,159 @@
+#include "runtime/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+namespace fbmb {
+
+namespace {
+
+/// Set while the current thread is executing a worker loop; lets submit()
+/// detect pool-reentrant calls without tracking thread ids.
+thread_local const ThreadPool* g_current_pool = nullptr;
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t threads, std::size_t queue_capacity)
+    : capacity_(std::max<std::size_t>(1, queue_capacity)) {
+  const std::size_t n = threads > 0 ? threads : default_thread_count();
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+std::size_t ThreadPool::pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+std::size_t ThreadPool::max_queue_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return max_depth_;
+}
+
+bool ThreadPool::on_worker_thread() const {
+  return g_current_pool == this;
+}
+
+std::size_t ThreadPool::default_thread_count() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+bool ThreadPool::try_submit_detached(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_ || queue_.size() >= capacity_) return false;
+    queue_.push_back(std::move(task));
+    max_depth_ = std::max(max_depth_, queue_.size());
+  }
+  not_empty_.notify_one();
+  return true;
+}
+
+void ThreadPool::enqueue(std::function<void()> task) {
+  if (on_worker_thread()) {
+    // A worker that queues a child task and then blocks on its future can
+    // deadlock the pool (nobody left to drain the queue); run inline.
+    task();
+    return;
+  }
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock, [this] {
+      return queue_.size() < capacity_ || stopping_;
+    });
+    if (stopping_) {
+      // Destruction raced the submit; execute inline so the future is
+      // still satisfied.
+      lock.unlock();
+      task();
+      return;
+    }
+    queue_.push_back(std::move(task));
+    max_depth_ = std::max(max_depth_, queue_.size());
+  }
+  not_empty_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  g_current_pool = this;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      not_empty_.wait(lock, [this] { return !queue_.empty() || stopping_; });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    not_full_.notify_one();
+    task();  // packaged_task captures exceptions into its future
+  }
+}
+
+void parallel_invoke(ThreadPool& pool,
+                     std::vector<std::function<void()>>& tasks) {
+  if (tasks.empty()) return;
+  if (tasks.size() == 1) {
+    tasks.front()();
+    return;
+  }
+
+  // Shared claim counter: helpers and the caller race to claim indices.
+  // Helpers that never get a pool slot simply find no work left when they
+  // eventually run; the caller waits only for *claimed* tasks, so a
+  // saturated pool cannot deadlock the join.
+  struct Sync {
+    std::atomic<std::size_t> next{0};
+    std::mutex mutex;
+    std::condition_variable done;
+    std::size_t completed = 0;
+    std::exception_ptr error;
+  };
+  auto sync = std::make_shared<Sync>();
+  const std::size_t n = tasks.size();
+  auto run_claimed = [sync, &tasks, n] {
+    for (;;) {
+      const std::size_t i = sync->next.fetch_add(1);
+      if (i >= n) return;
+      std::exception_ptr error;
+      try {
+        tasks[i]();
+      } catch (...) {
+        error = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lock(sync->mutex);
+      if (error && !sync->error) sync->error = error;
+      if (++sync->completed == n) sync->done.notify_all();
+    }
+  };
+
+  // Helpers go through the non-blocking detached path: a full queue (or a
+  // submit from inside a worker) must not block or serialize the fork —
+  // any helper that is dropped or runs late just finds no work left.
+  const std::size_t helpers =
+      std::min(tasks.size() - 1, pool.thread_count());
+  for (std::size_t h = 0; h < helpers; ++h) {
+    if (!pool.try_submit_detached(run_claimed)) break;
+  }
+  run_claimed();  // the caller participates
+
+  std::unique_lock<std::mutex> lock(sync->mutex);
+  sync->done.wait(lock, [&] { return sync->completed == n; });
+  if (sync->error) std::rethrow_exception(sync->error);
+}
+
+}  // namespace fbmb

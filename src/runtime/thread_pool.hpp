@@ -1,0 +1,103 @@
+// Fixed-size thread pool with a bounded work queue.
+//
+// submit() wraps a callable into a std::packaged_task and returns its
+// future; exceptions thrown by the task propagate through the future.
+// The queue is bounded: when it is full, submit() from an *external*
+// thread blocks until a slot frees (backpressure for producers).
+// submit() from a *pool worker* always runs the task inline: a worker
+// that queues a child task and then waits on its future can deadlock
+// when every other worker is busy (or when there is no other worker),
+// because the only threads that could drain the queue are the ones
+// blocked on it.
+//
+// parallel_invoke() is the companion fork/join helper used for nested
+// parallelism (e.g. SA restarts inside an already-pooled synthesis job):
+// the calling thread *participates* in the work and waits only for tasks
+// that actually started, so a saturated pool degrades to inline execution
+// instead of deadlocking.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace fbmb {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (0 = default_thread_count()). The queue
+  /// holds at most `queue_capacity` pending tasks.
+  explicit ThreadPool(std::size_t threads = 0,
+                      std::size_t queue_capacity = 1024);
+
+  /// Drains nothing: pending tasks are still executed, then workers join.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Schedules `fn` and returns a future for its result. Blocks while the
+  /// queue is full. Called from a pool worker it runs `fn` inline instead
+  /// (see the deadlock note above).
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    enqueue([task] { (*task)(); });
+    return future;
+  }
+
+  /// Non-blocking fire-and-forget enqueue: returns false (and does not run
+  /// the task) when the queue is full or the pool is stopping. Used by
+  /// parallel_invoke for helper tasks that are pure opportunistic
+  /// parallelism — dropping one is always safe because the caller claims
+  /// whatever work the helpers never reach.
+  bool try_submit_detached(std::function<void()> task);
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  /// Tasks queued but not yet picked up by a worker.
+  std::size_t pending() const;
+
+  /// Highest queue depth ever observed (telemetry).
+  std::size_t max_queue_depth() const;
+
+  /// True when the calling thread is one of this pool's workers.
+  bool on_worker_thread() const;
+
+  /// hardware_concurrency, with a floor of 1 for exotic platforms.
+  static std::size_t default_thread_count();
+
+ private:
+  void enqueue(std::function<void()> task);
+  void worker_loop();
+
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t capacity_;
+  std::size_t max_depth_ = 0;
+  bool stopping_ = false;
+};
+
+/// Runs every task, using `pool` for parallelism when it has free workers.
+/// The calling thread claims and executes tasks too, and the call returns
+/// once every task has finished. Tasks must be independent. The first
+/// exception thrown by any task is rethrown on the calling thread (after
+/// all tasks finished).
+void parallel_invoke(ThreadPool& pool,
+                     std::vector<std::function<void()>>& tasks);
+
+}  // namespace fbmb

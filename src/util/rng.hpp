@@ -27,6 +27,23 @@ inline std::uint64_t splitmix64(std::uint64_t& state) {
 
 }  // namespace detail
 
+/// Derives an independent sub-seed from a master seed and a task index.
+/// Used wherever one logical seed fans out into parallel deterministic
+/// streams (SA restarts, batched jobs): fork_seed(s, i) feeds index i's Rng,
+/// so the streams are identical whether the tasks run serially or
+/// concurrently, and reordering execution cannot change any stream.
+/// SplitMix64 scrambles the (seed, index) pair so that adjacent indices —
+/// and adjacent master seeds — yield statistically unrelated streams
+/// (a plain `seed + i` would make seed s, index 1 collide with seed s+1,
+/// index 0).
+inline std::uint64_t fork_seed(std::uint64_t seed, std::uint64_t index) {
+  std::uint64_t state = seed ^ (index * 0xBF58476D1CE4E5B9ULL);
+  // Two rounds: one to mix the index in, one to decorrelate consecutive
+  // master seeds.
+  detail::splitmix64(state);
+  return detail::splitmix64(state);
+}
+
 /// xoshiro256** deterministic generator.
 class Rng {
  public:

@@ -115,6 +115,39 @@ TEST(Rng, UniformityOfBounded) {
   }
 }
 
+TEST(ForkSeed, DeterministicPerIndex) {
+  for (std::uint64_t index : {0ull, 1ull, 7ull, 1000000ull}) {
+    EXPECT_EQ(fork_seed(42, index), fork_seed(42, index));
+  }
+}
+
+TEST(ForkSeed, DistinctAcrossIndicesAndSeeds) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t seed = 0; seed < 32; ++seed) {
+    for (std::uint64_t index = 0; index < 32; ++index) {
+      seen.insert(fork_seed(seed, index));
+    }
+  }
+  EXPECT_EQ(seen.size(), 32u * 32u);  // no collisions in a dense grid
+}
+
+TEST(ForkSeed, NoAdjacentSeedIndexAliasing) {
+  // The failure mode of the old `seed + i` derivation: (s, i+1) == (s+1, i).
+  EXPECT_NE(fork_seed(5, 1), fork_seed(6, 0));
+  EXPECT_NE(fork_seed(0, 1), fork_seed(1, 0));
+  // And the forked value is not the seed itself.
+  EXPECT_NE(fork_seed(42, 0), 42u);
+}
+
+TEST(ForkSeed, ForkedStreamsAreUncorrelated) {
+  Rng a(fork_seed(1, 0)), b(fork_seed(1, 1));
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
 TEST(Rng, SatisfiesUniformRandomBitGenerator) {
   static_assert(Rng::min() == 0);
   static_assert(Rng::max() == ~0ull);

@@ -1,0 +1,183 @@
+#include "runtime/synthesis_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "bench_suite/benchmarks.hpp"
+#include "runtime/result_io.hpp"
+
+namespace fbmb {
+namespace {
+
+std::vector<SynthesisJob> small_jobs(FlowPreset flow = FlowPreset::kDcsa) {
+  std::vector<SynthesisJob> jobs;
+  for (const Benchmark& bench :
+       {make_pcr(), make_ivd(), make_paper_example()}) {
+    SynthesisJob job;
+    job.name = bench.name;
+    job.graph = bench.graph;
+    job.allocation = Allocation(bench.allocation);
+    job.wash = bench.wash;
+    job.flow = flow;
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+void expect_metrics_identical(const SynthesisResult& a,
+                              const SynthesisResult& b,
+                              const std::string& label) {
+  EXPECT_EQ(a.completion_time, b.completion_time) << label;
+  EXPECT_EQ(a.utilization, b.utilization) << label;
+  EXPECT_EQ(a.channel_length_mm, b.channel_length_mm) << label;
+  EXPECT_EQ(a.total_cache_time, b.total_cache_time) << label;
+  EXPECT_EQ(a.channel_wash_time, b.channel_wash_time) << label;
+  EXPECT_EQ(a.schedule.completion_time, b.schedule.completion_time) << label;
+  ASSERT_EQ(a.placement.size(), b.placement.size()) << label;
+  for (std::size_t i = 0; i < a.placement.size(); ++i) {
+    const ComponentId id{static_cast<int>(i)};
+    EXPECT_EQ(a.placement.at(id).origin, b.placement.at(id).origin) << label;
+    EXPECT_EQ(a.placement.at(id).rotated, b.placement.at(id).rotated)
+        << label;
+  }
+  ASSERT_EQ(a.routing.paths.size(), b.routing.paths.size()) << label;
+  for (std::size_t i = 0; i < a.routing.paths.size(); ++i) {
+    EXPECT_EQ(a.routing.paths[i].cells, b.routing.paths[i].cells)
+        << label << " path " << i;
+  }
+}
+
+TEST(SynthesisEngine, ParallelBatchBitIdenticalToSerialFlows) {
+  const auto jobs = small_jobs();
+
+  SynthesisEngineOptions options;
+  options.threads = 4;
+  SynthesisEngine engine(options);
+  const auto outcomes = engine.run_batch(jobs);
+  ASSERT_EQ(outcomes.size(), jobs.size());
+
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const SynthesisResult serial = synthesize_dcsa(
+        jobs[i].graph, jobs[i].allocation, jobs[i].wash, jobs[i].options);
+    expect_metrics_identical(outcomes[i].result, serial, jobs[i].name);
+    EXPECT_FALSE(outcomes[i].cache_hit);
+  }
+}
+
+TEST(SynthesisEngine, ParallelRestartsMatchSerialRestarts) {
+  const auto jobs = small_jobs();
+  SynthesisEngineOptions parallel;
+  parallel.threads = 4;
+  parallel.parallel_restarts = true;
+  SynthesisEngineOptions serial;
+  serial.threads = 1;
+  serial.parallel_restarts = false;
+  SynthesisEngine parallel_engine(parallel);
+  SynthesisEngine serial_engine(serial);
+  const auto a = parallel_engine.run_batch(jobs);
+  const auto b = serial_engine.run_batch(jobs);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    expect_metrics_identical(a[i].result, b[i].result, a[i].name);
+    EXPECT_EQ(a[i].fingerprint, b[i].fingerprint);
+  }
+}
+
+TEST(SynthesisEngine, SecondPassHitsTheCache) {
+  const auto jobs = small_jobs();
+  SynthesisEngineOptions options;
+  options.threads = 2;
+  SynthesisEngine engine(options);
+
+  const auto cold = engine.run_batch(jobs);
+  const auto warm = engine.run_batch(jobs);
+  ASSERT_EQ(warm.size(), jobs.size());
+  for (std::size_t i = 0; i < warm.size(); ++i) {
+    EXPECT_FALSE(cold[i].cache_hit);
+    EXPECT_TRUE(warm[i].cache_hit) << warm[i].name;
+    expect_metrics_identical(warm[i].result, cold[i].result, warm[i].name);
+  }
+  EXPECT_EQ(engine.cache().hits(), jobs.size());
+  EXPECT_EQ(engine.cache().misses(), jobs.size());
+
+  const auto snapshot = engine.telemetry().snapshot();
+  EXPECT_EQ(snapshot.cache_hits, jobs.size());
+  EXPECT_EQ(snapshot.cache_misses, jobs.size());
+  EXPECT_EQ(snapshot.jobs_completed, 2 * jobs.size());
+  EXPECT_EQ(snapshot.jobs_in_flight, 0u);
+  EXPECT_GT(snapshot.stage_seconds.total(), 0.0);
+}
+
+TEST(SynthesisEngine, DifferentOptionsMissTheCache) {
+  auto jobs = small_jobs();
+  SynthesisEngine engine;
+  const auto first = engine.run_batch(jobs);
+  for (SynthesisJob& job : jobs) job.options.placer.seed = 99;
+  const auto second = engine.run_batch(jobs);
+  for (std::size_t i = 0; i < second.size(); ++i) {
+    EXPECT_FALSE(second[i].cache_hit);
+    EXPECT_NE(second[i].fingerprint, first[i].fingerprint);
+  }
+}
+
+TEST(SynthesisEngine, BaselinePresetRunsBaselineFlow) {
+  const auto jobs = small_jobs(FlowPreset::kBaseline);
+  SynthesisEngine engine;
+  const auto outcomes = engine.run_batch(jobs);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const SynthesisResult serial = synthesize_baseline(
+        jobs[i].graph, jobs[i].allocation, jobs[i].wash, jobs[i].options);
+    expect_metrics_identical(outcomes[i].result, serial, jobs[i].name);
+  }
+}
+
+TEST(SynthesisEngine, InfeasibleJobPropagatesSchedulingError) {
+  SynthesisJob job;
+  job.name = "infeasible";
+  const auto bench = make_pcr();
+  job.graph = bench.graph;
+  job.allocation = Allocation(AllocationSpec{0, 1, 0, 0});  // no mixers
+  job.wash = bench.wash;
+  SynthesisEngine engine;
+  EXPECT_THROW(engine.run_batch({job}), SchedulingError);
+  // The engine must stay usable after a failed batch.
+  const auto ok = engine.run_batch(small_jobs());
+  EXPECT_EQ(ok.size(), 3u);
+}
+
+TEST(SynthesisEngine, TelemetryJsonContainsPerJobSpans) {
+  const auto jobs = small_jobs();
+  SynthesisEngine engine;
+  const auto outcomes = engine.run_batch(jobs);
+  const std::string json = engine.telemetry_json(outcomes);
+  for (const SynthesisJob& job : jobs) {
+    EXPECT_NE(json.find("\"" + job.name + "\""), std::string::npos);
+  }
+  EXPECT_NE(json.find("\"stages\""), std::string::npos);
+  EXPECT_NE(json.find("\"route\""), std::string::npos);
+  EXPECT_NE(json.find("\"cache_hit\""), std::string::npos);
+  EXPECT_NE(json.find("\"hits\""), std::string::npos);
+  // It must parse with our own JSON reader.
+  EXPECT_TRUE(jsonio::parse(json).has_value());
+}
+
+TEST(SynthesisEngine, StageSpansCoverTheFlow) {
+  const auto bench = make_cpa();
+  SynthesisJob job;
+  job.name = bench.name;
+  job.graph = bench.graph;
+  job.allocation = Allocation(bench.allocation);
+  job.wash = bench.wash;
+  SynthesisEngine engine;
+  const JobOutcome outcome = engine.run_job(job);
+  const StageTimes& st = outcome.result.stage_seconds;
+  EXPECT_GT(st.schedule, 0.0);
+  EXPECT_GT(st.place, 0.0);
+  EXPECT_GT(st.route, 0.0);
+  EXPECT_GT(st.total(), 0.0);
+  EXPECT_LE(st.total(), outcome.result.cpu_seconds + 1e-6);
+}
+
+}  // namespace
+}  // namespace fbmb

@@ -1,0 +1,221 @@
+#include "runtime/result_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "bench_suite/benchmarks.hpp"
+#include "runtime/fingerprint.hpp"
+#include "runtime/result_io.hpp"
+
+namespace fbmb {
+namespace {
+
+SynthesisResult tiny_result(double completion) {
+  SynthesisResult result;
+  result.completion_time = completion;
+  result.utilization = 0.5;
+  return result;
+}
+
+Fingerprint key_of(std::uint64_t lo, std::uint64_t hi) {
+  return Fingerprint{lo, hi};
+}
+
+TEST(Fingerprint, EqualInputsHashEqual) {
+  const auto bench = make_pcr();
+  const Allocation alloc(bench.allocation);
+  SynthesisOptions options;
+  const Fingerprint a = fingerprint_inputs(bench.graph, alloc, bench.wash,
+                                           options, FlowPreset::kDcsa);
+  const Fingerprint b = fingerprint_inputs(bench.graph, alloc, bench.wash,
+                                           options, FlowPreset::kDcsa);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Fingerprint, EveryInputFieldChangesTheHash) {
+  const auto bench = make_pcr();
+  const Allocation alloc(bench.allocation);
+  SynthesisOptions options;
+  const Fingerprint base = fingerprint_inputs(bench.graph, alloc, bench.wash,
+                                              options, FlowPreset::kDcsa);
+
+  EXPECT_NE(base, fingerprint_inputs(bench.graph, alloc, bench.wash, options,
+                                     FlowPreset::kBaseline));
+
+  SynthesisOptions seed = options;
+  seed.placer.seed = 2;
+  EXPECT_NE(base, fingerprint_inputs(bench.graph, alloc, bench.wash, seed,
+                                     FlowPreset::kDcsa));
+
+  SynthesisOptions restarts = options;
+  restarts.placer.restarts = 5;
+  EXPECT_NE(base, fingerprint_inputs(bench.graph, alloc, bench.wash,
+                                     restarts, FlowPreset::kDcsa));
+
+  SynthesisOptions tc = options;
+  tc.scheduler.transport_time = 4.0;
+  EXPECT_NE(base, fingerprint_inputs(bench.graph, alloc, bench.wash, tc,
+                                     FlowPreset::kDcsa));
+
+  WashModel wash = bench.wash;
+  wash.set_override(1e-5, 3.0);
+  EXPECT_NE(base, fingerprint_inputs(bench.graph, alloc, wash, options,
+                                     FlowPreset::kDcsa));
+
+  const Allocation bigger(AllocationSpec{4, 0, 0, 0});
+  EXPECT_NE(base, fingerprint_inputs(bench.graph, bigger, bench.wash,
+                                     options, FlowPreset::kDcsa));
+
+  const auto other = make_ivd();
+  EXPECT_NE(base, fingerprint_inputs(other.graph, alloc, bench.wash, options,
+                                     FlowPreset::kDcsa));
+}
+
+TEST(Fingerprint, ExecutorHookIsNotPartOfTheKey) {
+  const auto bench = make_pcr();
+  const Allocation alloc(bench.allocation);
+  SynthesisOptions options;
+  const Fingerprint base = fingerprint_inputs(bench.graph, alloc, bench.wash,
+                                              options, FlowPreset::kDcsa);
+  SynthesisOptions with_executor = options;
+  with_executor.placer.restart_executor =
+      [](std::vector<std::function<void()>>& tasks) {
+        for (auto& task : tasks) task();
+      };
+  EXPECT_EQ(base, fingerprint_inputs(bench.graph, alloc, bench.wash,
+                                     with_executor, FlowPreset::kDcsa));
+}
+
+TEST(Fingerprint, HexRoundTrip) {
+  const Fingerprint fp{0x0123456789abcdefULL, 0xfedcba9876543210ULL};
+  const std::string hex = fp.to_hex();
+  EXPECT_EQ(hex.size(), 32u);
+  Fingerprint parsed;
+  ASSERT_TRUE(Fingerprint::from_hex(hex, parsed));
+  EXPECT_EQ(parsed, fp);
+  EXPECT_FALSE(Fingerprint::from_hex("zz", parsed));
+}
+
+TEST(ResultCache, HitMissAndCounters) {
+  ResultCache cache(4);
+  const Fingerprint key = key_of(1, 1);
+  EXPECT_FALSE(cache.lookup(key).has_value());
+  EXPECT_EQ(cache.misses(), 1u);
+  cache.insert(key, tiny_result(10.0));
+  const auto hit = cache.lookup(key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_DOUBLE_EQ(hit->completion_time, 10.0);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(ResultCache, DistinctKeysDoNotCollide) {
+  // Keys differing in only one word must be distinct entries.
+  ResultCache cache(8);
+  cache.insert(key_of(1, 2), tiny_result(1.0));
+  cache.insert(key_of(1, 3), tiny_result(2.0));
+  cache.insert(key_of(2, 2), tiny_result(3.0));
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_DOUBLE_EQ(cache.lookup(key_of(1, 2))->completion_time, 1.0);
+  EXPECT_DOUBLE_EQ(cache.lookup(key_of(1, 3))->completion_time, 2.0);
+  EXPECT_DOUBLE_EQ(cache.lookup(key_of(2, 2))->completion_time, 3.0);
+}
+
+TEST(ResultCache, LruEvictionPrefersStaleEntries) {
+  ResultCache cache(2);
+  cache.insert(key_of(1, 0), tiny_result(1.0));
+  cache.insert(key_of(2, 0), tiny_result(2.0));
+  // Touch key 1 so key 2 is now least recently used.
+  EXPECT_TRUE(cache.lookup(key_of(1, 0)).has_value());
+  cache.insert(key_of(3, 0), tiny_result(3.0));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_TRUE(cache.lookup(key_of(1, 0)).has_value());
+  EXPECT_FALSE(cache.lookup(key_of(2, 0)).has_value());
+  EXPECT_TRUE(cache.lookup(key_of(3, 0)).has_value());
+}
+
+TEST(ResultCache, OverwriteSameKeyKeepsSizeStable) {
+  ResultCache cache(2);
+  cache.insert(key_of(1, 0), tiny_result(1.0));
+  cache.insert(key_of(1, 0), tiny_result(9.0));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_DOUBLE_EQ(cache.lookup(key_of(1, 0))->completion_time, 9.0);
+}
+
+TEST(ResultCache, SpillRoundTripsFullResultLosslessly) {
+  // A real synthesized result — schedule, placement, routing — must
+  // survive the JSON spill bit-identically.
+  const auto bench = make_pcr();
+  const Allocation alloc(bench.allocation);
+  const SynthesisResult original =
+      synthesize_dcsa(bench.graph, alloc, bench.wash);
+
+  SynthesisOptions options;
+  const Fingerprint key = fingerprint_inputs(bench.graph, alloc, bench.wash,
+                                             options, FlowPreset::kDcsa);
+  ResultCache cache(4);
+  cache.insert(key, original);
+
+  const std::string path = ::testing::TempDir() + "msynth_cache_spill.json";
+  ASSERT_TRUE(cache.save_json(path));
+
+  ResultCache reloaded(4);
+  EXPECT_EQ(reloaded.load_json(path), 1u);
+  const auto restored = reloaded.lookup(key);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->completion_time, original.completion_time);
+  EXPECT_EQ(restored->utilization, original.utilization);
+  EXPECT_EQ(restored->channel_length_mm, original.channel_length_mm);
+  EXPECT_EQ(restored->total_cache_time, original.total_cache_time);
+  EXPECT_EQ(restored->channel_wash_time, original.channel_wash_time);
+  EXPECT_EQ(restored->schedule.operations.size(),
+            original.schedule.operations.size());
+  EXPECT_EQ(restored->schedule.transports.size(),
+            original.schedule.transports.size());
+  EXPECT_EQ(restored->placement.size(), original.placement.size());
+  ASSERT_EQ(restored->routing.paths.size(), original.routing.paths.size());
+  for (std::size_t i = 0; i < original.routing.paths.size(); ++i) {
+    EXPECT_EQ(restored->routing.paths[i].cells,
+              original.routing.paths[i].cells) << "path " << i;
+  }
+  EXPECT_EQ(restored->routing.distinct_channel_edges(),
+            original.routing.distinct_channel_edges());
+  std::remove(path.c_str());
+}
+
+TEST(ResultCache, LoadRejectsMalformedFiles) {
+  const std::string path = ::testing::TempDir() + "msynth_cache_bad.json";
+  {
+    FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("{\"format\": \"something else\"}", f);
+    std::fclose(f);
+  }
+  ResultCache cache(4);
+  EXPECT_EQ(cache.load_json(path), 0u);
+  EXPECT_EQ(cache.load_json("/nonexistent/msynth.json"), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(ResultIo, ParserHandlesDocumentShapes) {
+  const auto parsed = jsonio::parse(
+      "{\"a\": [1, 2.5, -3e2], \"b\": {\"c\": true, \"d\": null}, "
+      "\"s\": \"x\\ny\"}");
+  ASSERT_TRUE(parsed.has_value());
+  const jsonio::Value* a = parsed->find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->array.size(), 3u);
+  EXPECT_DOUBLE_EQ(a->array[2].num, -300.0);
+  const jsonio::Value* b = parsed->find("b");
+  ASSERT_NE(b, nullptr);
+  EXPECT_TRUE(b->find("c")->b);
+  EXPECT_EQ(parsed->find("s")->str, "x\ny");
+  EXPECT_FALSE(jsonio::parse("{\"unterminated\": ").has_value());
+  EXPECT_FALSE(jsonio::parse("{} trailing").has_value());
+}
+
+}  // namespace
+}  // namespace fbmb
