@@ -32,11 +32,11 @@ int main() {
         compare_flows(bench.name, bench.graph, alloc, bench.wash);
 
     RoutingGrid ours_grid(row.ours.chip, alloc, row.ours.placement);
-    const WashPlan ours =
-        plan_wash_pathways(ours_grid, row.ours.routing, row.ours.schedule);
+    const WashPlan ours = plan_wash_pathways(
+        ours_grid, row.ours.routing, row.ours.schedule, bench.wash);
     RoutingGrid ba_grid(row.baseline.chip, alloc, row.baseline.placement);
-    const WashPlan ba = plan_wash_pathways(ba_grid, row.baseline.routing,
-                                           row.baseline.schedule);
+    const WashPlan ba = plan_wash_pathways(
+        ba_grid, row.baseline.routing, row.baseline.schedule, bench.wash);
 
     table.add_row(
         {bench.name, std::to_string(ours.flushes.size()),

@@ -2,6 +2,8 @@
 
 #include <cassert>
 #include <sstream>
+#include <stdexcept>
+#include <utility>
 
 namespace fbmb {
 
@@ -37,6 +39,29 @@ Allocation::Allocation(const AllocationSpec& spec) : spec_(spec) {
       c.width = fp.width;
       c.height = fp.height;
       components_.push_back(std::move(c));
+    }
+  }
+  pos_by_id_.resize(components_.size());
+  for (std::size_t i = 0; i < components_.size(); ++i) pos_by_id_[i] = i;
+}
+
+Allocation::Allocation(std::vector<Component> components)
+    : components_(std::move(components)) {
+  pos_by_id_.assign(components_.size(), components_.size());
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    const Component& c = components_[i];
+    const auto idx = static_cast<std::size_t>(c.id.value);
+    if (c.id.value < 0 || idx >= components_.size() ||
+        pos_by_id_[idx] != components_.size()) {
+      throw std::invalid_argument(
+          "Allocation requires dense, unique component ids 0..n-1");
+    }
+    pos_by_id_[idx] = i;
+    switch (c.type) {
+      case ComponentType::kMixer: ++spec_.mixers; break;
+      case ComponentType::kHeater: ++spec_.heaters; break;
+      case ComponentType::kFilter: ++spec_.filters; break;
+      case ComponentType::kDetector: ++spec_.detectors; break;
     }
   }
 }

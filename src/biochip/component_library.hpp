@@ -37,13 +37,19 @@ class Allocation {
   Allocation() = default;
   explicit Allocation(const AllocationSpec& spec);
 
+  /// Builds an allocation from explicit components. Ids must be dense
+  /// (0..n-1) — Placement indexes by id — but may appear in any order;
+  /// the spec counts are derived from the component types.
+  explicit Allocation(std::vector<Component> components);
+
   const AllocationSpec& spec() const { return spec_; }
   const std::vector<Component>& components() const { return components_; }
   std::size_t size() const { return components_.size(); }
   bool empty() const { return components_.empty(); }
 
   const Component& component(ComponentId id) const {
-    return components_.at(static_cast<std::size_t>(id.value));
+    return components_.at(
+        pos_by_id_.at(static_cast<std::size_t>(id.value)));
   }
 
   /// Ids of components able to execute operations of `type`, in allocation
@@ -57,6 +63,9 @@ class Allocation {
  private:
   AllocationSpec spec_;
   std::vector<Component> components_;
+  /// Position of each id in components_: components() preserves the order
+  /// the components were supplied in, which need not be ascending-id.
+  std::vector<std::size_t> pos_by_id_;
 };
 
 }  // namespace fbmb

@@ -38,12 +38,14 @@ RoutingResult route_until_consistent(Schedule& schedule,
                                      StageTimes& stages) {
   constexpr int kMaxRounds = 20;
   int postponements = 0;
+  RouteStats stats_total;
   for (int round = 0;; ++round) {
     const auto route_start = Clock::now();
     RoutingGrid grid(chip, allocation, placement);
     RoutingResult routing =
         route_transports(grid, schedule, wash_model, router_options);
     stages.route += seconds_since(route_start);
+    stats_total += routing.stats;
     const bool any_delay =
         std::any_of(routing.delays.begin(), routing.delays.end(),
                     [](double d) { return d > 0.0; });
@@ -57,6 +59,7 @@ RoutingResult route_until_consistent(Schedule& schedule,
         stages.retime += seconds_since(retime_start);
       }
       routing.conflict_postponements = postponements;
+      routing.stats = stats_total;
       return routing;
     }
     const auto retime_start = Clock::now();

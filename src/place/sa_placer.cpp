@@ -83,8 +83,14 @@ double placement_energy(const Placement& placement,
 Placement random_placement(const Allocation& allocation,
                            const ChipSpec& spec, Rng& rng) {
   Placement placement(allocation.size());
-  // Place components one by one at random legal spots.
+  // Place components one by one at random legal spots. Clash checks run
+  // against the explicit set of already-placed ids: iteration order of
+  // allocation.components() is not assumed to be ascending-id, and ids not
+  // yet placed (whose Placement slots still hold the default {0,0} origin)
+  // must not be compared against.
   constexpr int kTriesPerComponent = 200;
+  std::vector<ComponentId> placed_ids;
+  placed_ids.reserve(allocation.size());
   bool ok = true;
   for (const auto& comp : allocation.components()) {
     bool placed = false;
@@ -96,7 +102,6 @@ Placement random_placement(const Allocation& allocation,
       const Point origin{rng.uniform_int(0, spec.grid_width - w),
                          rng.uniform_int(0, spec.grid_height - h)};
       placement.at(comp.id) = {origin, rotated};
-      // Only compare against already-placed components (ids below current).
       bool clash = false;
       const Rect fp =
           placement.footprint(comp.id, allocation)
@@ -105,14 +110,15 @@ Placement random_placement(const Allocation& allocation,
       if (!chip.contains(placement.footprint(comp.id, allocation))) {
         clash = true;
       }
-      for (int prev = 0; !clash && prev < comp.id.value; ++prev) {
-        if (fp.overlaps(
-                placement.footprint(ComponentId{prev}, allocation))) {
+      for (const ComponentId prev : placed_ids) {
+        if (clash) break;
+        if (fp.overlaps(placement.footprint(prev, allocation))) {
           clash = true;
         }
       }
       if (!clash) {
         placed = true;
+        placed_ids.push_back(comp.id);
         break;
       }
     }

@@ -2,12 +2,35 @@
 
 #pragma once
 
+#include <cstdint>
 #include <set>
 #include <vector>
 
 #include "util/geometry.hpp"
 
 namespace fbmb {
+
+/// Search-effort counters for one routing pass (or, after
+/// route_until_consistent, the sum over its rounds). Telemetry-only: two
+/// RoutingResults are considered equivalent regardless of their stats.
+struct RouteStats {
+  std::uint64_t tasks_routed = 0;           ///< transports routed
+  std::uint64_t nodes_expanded = 0;         ///< non-stale A* pops
+  std::uint64_t heap_pushes = 0;            ///< A* open-list insertions
+  std::uint64_t feasibility_rejections = 0; ///< cells priced +inf (Eq. 5)
+  std::uint64_t postponement_steps = 0;     ///< postpone_step increments
+  std::uint64_t distance_fields_built = 0;  ///< heuristic BFS fields built
+
+  RouteStats& operator+=(const RouteStats& o) {
+    tasks_routed += o.tasks_routed;
+    nodes_expanded += o.nodes_expanded;
+    heap_pushes += o.heap_pushes;
+    feasibility_rejections += o.feasibility_rejections;
+    postponement_steps += o.postponement_steps;
+    distance_fields_built += o.distance_fields_built;
+    return *this;
+  }
+};
 
 /// One routed transportation task.
 struct RoutedPath {
@@ -32,6 +55,7 @@ struct RoutingResult {
   std::vector<double> delays;        ///< per transport index (for retiming)
   double total_wash_time = 0.0;      ///< sum of wash flushes (Fig. 9)
   int conflict_postponements = 0;    ///< tasks the router had to delay
+  RouteStats stats;                  ///< search-effort counters (telemetry)
 
   /// Distinct undirected channel segments (adjacent-cell pairs) fabricated
   /// across all paths, plus the distinct component-to-channel connection

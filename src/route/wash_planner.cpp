@@ -80,6 +80,7 @@ double WashPlan::total_flush_length_mm(double cell_pitch_mm) const {
 WashPlan plan_wash_pathways(const RoutingGrid& grid,
                             const RoutingResult& routing,
                             const Schedule& schedule,
+                            const WashModel& wash_model,
                             const WashPlanOptions& options) {
   WashPlan plan;
   plan.inlet = options.inlet.x >= 0
@@ -91,19 +92,37 @@ WashPlan plan_wash_pathways(const RoutingGrid& grid,
                           grid, {grid.width() - 1, grid.height() - 1});
 
   // Re-simulate the main traffic's occupancy (same replay the validator
-  // performs) so flush windows can be checked against it.
+  // performs) so flush windows can be checked against it. The router
+  // reserves [start - wash, end) per cell — the wash lead included — so
+  // the replay must simulate residues to recover each cell's wash prefix;
+  // replaying only [start, end) misses the lead and lets a flush be
+  // declared conflict_free while overlapping another task's wash window.
   std::unordered_map<Point, IntervalSet> occupancy;
+  std::unordered_map<Point, Fluid> residues;
   const int cache_cells = grid.spec().cache_segment_cells;
   for (const auto& path : routing.paths) {
+    if (path.transport_id < 0 ||
+        static_cast<std::size_t>(path.transport_id) >=
+            schedule.transports.size()) {
+      continue;
+    }
+    const Fluid& fluid =
+        schedule.transports[static_cast<std::size_t>(path.transport_id)]
+            .fluid;
     const int n = static_cast<int>(path.cells.size());
     for (int i = 0; i < n; ++i) {
+      const Point& p = path.cells[static_cast<std::size_t>(i)];
+      double wash = 0.0;
+      if (auto it = residues.find(p);
+          it != residues.end() && it->second.name != fluid.name) {
+        wash = wash_model.wash_time(it->second);
+      }
       const bool tail = (n - 1 - i) < cache_cells;
       const double end = tail ? path.cache_until : path.transport_end;
-      occupancy[path.cells[static_cast<std::size_t>(i)]].insert_merged(
-          {path.start, end});
+      occupancy[p].insert_merged({path.start - wash, end});
+      residues[p] = fluid;
     }
   }
-  (void)schedule;
 
   for (const auto& path : routing.paths) {
     if (path.wash_duration <= 0.0 || path.cells.empty()) continue;

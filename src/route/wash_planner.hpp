@@ -55,11 +55,14 @@ struct WashPlan {
 };
 
 /// Plans flush pathways for every routed task with wash_duration > 0.
-/// `grid` must be a fresh grid over the same placement (the planner
-/// re-simulates occupancy like the validator does).
+/// `grid` must be a fresh grid over the same placement; the planner
+/// re-simulates occupancy like the validator does, including each cell's
+/// wash lead [start - wash, start), which needs `wash_model` to price the
+/// replayed residues.
 WashPlan plan_wash_pathways(const RoutingGrid& grid,
                             const RoutingResult& routing,
                             const Schedule& schedule,
+                            const WashModel& wash_model,
                             const WashPlanOptions& options = {});
 
 }  // namespace fbmb

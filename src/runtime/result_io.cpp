@@ -367,7 +367,15 @@ bool read_placement(const jsonio::Value& arr, Placement& placement) {
 void write_routing(std::ostringstream& os, const RoutingResult& routing) {
   os << "{\"total_wash_time\": " << exact(routing.total_wash_time)
      << ", \"conflict_postponements\": " << routing.conflict_postponements
-     << ", \"delays\": [";
+     << ", \"route_stats\": {\"tasks_routed\": "
+     << routing.stats.tasks_routed
+     << ", \"nodes_expanded\": " << routing.stats.nodes_expanded
+     << ", \"heap_pushes\": " << routing.stats.heap_pushes
+     << ", \"feasibility_rejections\": "
+     << routing.stats.feasibility_rejections
+     << ", \"postponement_steps\": " << routing.stats.postponement_steps
+     << ", \"distance_fields_built\": "
+     << routing.stats.distance_fields_built << "}, \"delays\": [";
   for (std::size_t i = 0; i < routing.delays.size(); ++i) {
     os << (i ? "," : "") << exact(routing.delays[i]);
   }
@@ -395,6 +403,20 @@ bool read_routing(const jsonio::Value& obj, RoutingResult& routing) {
   bool ok = true;
   routing.total_wash_time = get_num(obj, "total_wash_time", ok);
   routing.conflict_postponements = get_int(obj, "conflict_postponements", ok);
+  // route_stats is optional so spills written before the counters existed
+  // still load (all counters default to zero).
+  if (const jsonio::Value* rs = obj.find("route_stats");
+      rs && rs->kind == jsonio::Value::Kind::kObject) {
+    auto u64 = [&](const char* key) {
+      return static_cast<std::uint64_t>(get_num(*rs, key, ok));
+    };
+    routing.stats.tasks_routed = u64("tasks_routed");
+    routing.stats.nodes_expanded = u64("nodes_expanded");
+    routing.stats.heap_pushes = u64("heap_pushes");
+    routing.stats.feasibility_rejections = u64("feasibility_rejections");
+    routing.stats.postponement_steps = u64("postponement_steps");
+    routing.stats.distance_fields_built = u64("distance_fields_built");
+  }
   const jsonio::Value* delays = get_array(obj, "delays", ok);
   const jsonio::Value* paths = get_array(obj, "paths", ok);
   if (!ok) return false;

@@ -114,6 +114,7 @@ JobOutcome SynthesisEngine::execute(const SynthesisJob& job) {
   cache_.insert(outcome.fingerprint, outcome.result);
   outcome.wall_seconds = seconds_since(t0);
   telemetry_.record_stage_times(outcome.result.stage_seconds);
+  telemetry_.record_route_stats(outcome.result.routing.stats);
   telemetry_.record_synthesis_seconds(outcome.wall_seconds);
   telemetry_.job_finished();
   return outcome;
@@ -143,6 +144,17 @@ std::string SynthesisEngine::telemetry_json(
        << ", \"place\": " << number(st.place)
        << ", \"route\": " << number(st.route)
        << ", \"retime\": " << number(st.retime) << "}"
+       << ", \"routing\": {\"tasks_routed\": "
+       << outcome.result.routing.stats.tasks_routed
+       << ", \"nodes_expanded\": "
+       << outcome.result.routing.stats.nodes_expanded
+       << ", \"heap_pushes\": " << outcome.result.routing.stats.heap_pushes
+       << ", \"feasibility_rejections\": "
+       << outcome.result.routing.stats.feasibility_rejections
+       << ", \"postponement_steps\": "
+       << outcome.result.routing.stats.postponement_steps
+       << ", \"distance_fields_built\": "
+       << outcome.result.routing.stats.distance_fields_built << "}"
        << ", \"completion_time\": "
        << number(outcome.result.completion_time) << "}";
     first = false;

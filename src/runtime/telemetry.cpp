@@ -23,6 +23,15 @@ void Telemetry::record_stage_times(const StageTimes& stages) {
   add(stage_retime_, stages.retime);
 }
 
+void Telemetry::record_route_stats(const RouteStats& stats) {
+  route_tasks_routed_.fetch_add(stats.tasks_routed);
+  route_nodes_expanded_.fetch_add(stats.nodes_expanded);
+  route_heap_pushes_.fetch_add(stats.heap_pushes);
+  route_feasibility_rejections_.fetch_add(stats.feasibility_rejections);
+  route_postponement_steps_.fetch_add(stats.postponement_steps);
+  route_distance_fields_built_.fetch_add(stats.distance_fields_built);
+}
+
 void Telemetry::record_queue_depth(std::uint64_t depth) {
   std::uint64_t current = max_queue_depth_.load(std::memory_order_relaxed);
   while (depth > current &&
@@ -44,6 +53,12 @@ Telemetry::Snapshot Telemetry::snapshot() const {
   s.jobs_completed = jobs_completed_.load();
   s.jobs_in_flight = jobs_in_flight_.load();
   s.max_queue_depth = max_queue_depth_.load();
+  s.routing.tasks_routed = route_tasks_routed_.load();
+  s.routing.nodes_expanded = route_nodes_expanded_.load();
+  s.routing.heap_pushes = route_heap_pushes_.load();
+  s.routing.feasibility_rejections = route_feasibility_rejections_.load();
+  s.routing.postponement_steps = route_postponement_steps_.load();
+  s.routing.distance_fields_built = route_distance_fields_built_.load();
   return s;
 }
 
@@ -60,6 +75,12 @@ void Telemetry::reset() {
   jobs_completed_.store(0);
   jobs_in_flight_.store(0);
   max_queue_depth_.store(0);
+  route_tasks_routed_.store(0);
+  route_nodes_expanded_.store(0);
+  route_heap_pushes_.store(0);
+  route_feasibility_rejections_.store(0);
+  route_postponement_steps_.store(0);
+  route_distance_fields_built_.store(0);
 }
 
 std::string Telemetry::to_json(const Snapshot& s) {
@@ -75,6 +96,12 @@ std::string Telemetry::to_json(const Snapshot& s) {
      << "}, \"jobs\": {\"submitted\": " << s.jobs_submitted
      << ", \"completed\": " << s.jobs_completed
      << ", \"in_flight\": " << s.jobs_in_flight
+     << "}, \"routing\": {\"tasks_routed\": " << s.routing.tasks_routed
+     << ", \"nodes_expanded\": " << s.routing.nodes_expanded
+     << ", \"heap_pushes\": " << s.routing.heap_pushes
+     << ", \"feasibility_rejections\": " << s.routing.feasibility_rejections
+     << ", \"postponement_steps\": " << s.routing.postponement_steps
+     << ", \"distance_fields_built\": " << s.routing.distance_fields_built
      << "}, \"max_queue_depth\": " << s.max_queue_depth
      << ", \"synthesis_seconds\": " << number(s.synthesis_seconds) << "}";
   return os.str();

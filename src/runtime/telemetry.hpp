@@ -19,6 +19,7 @@
 #include <string>
 
 #include "core/synthesis.hpp"
+#include "route/types.hpp"
 
 namespace fbmb {
 
@@ -52,6 +53,7 @@ class Telemetry {
     std::uint64_t jobs_in_flight = 0;
     std::uint64_t max_queue_depth = 0;
     double synthesis_seconds = 0.0;  ///< summed job wall time (cache misses)
+    RouteStats routing;              ///< summed router counters (cache misses)
   };
 
   void record_cache_hit() { cache_hits_.fetch_add(1); }
@@ -66,6 +68,9 @@ class Telemetry {
 
   /// Folds one completed job's stage breakdown into the aggregate.
   void record_stage_times(const StageTimes& stages);
+
+  /// Folds one completed job's router counters into the aggregate.
+  void record_route_stats(const RouteStats& stats);
 
   void record_synthesis_seconds(double seconds) {
     add(synthesis_seconds_, seconds);
@@ -102,6 +107,12 @@ class Telemetry {
   std::atomic<std::uint64_t> jobs_completed_{0};
   std::atomic<std::uint64_t> jobs_in_flight_{0};
   std::atomic<std::uint64_t> max_queue_depth_{0};
+  std::atomic<std::uint64_t> route_tasks_routed_{0};
+  std::atomic<std::uint64_t> route_nodes_expanded_{0};
+  std::atomic<std::uint64_t> route_heap_pushes_{0};
+  std::atomic<std::uint64_t> route_feasibility_rejections_{0};
+  std::atomic<std::uint64_t> route_postponement_steps_{0};
+  std::atomic<std::uint64_t> route_distance_fields_built_{0};
 };
 
 }  // namespace fbmb

@@ -43,6 +43,58 @@ TEST(RandomPlacement, IsLegalAndDeterministic) {
   }
 }
 
+TEST(RandomPlacement, HandlesReorderedAllocation) {
+  // Regression: the clash check used to compare a candidate spot against
+  // ids 0..current-1, assuming components() iterates in ascending-id
+  // order. With a reordered component list that compared against not-yet-
+  // placed slots (default origins) and ignored placed higher ids, letting
+  // overlapping spots through to the is_legal guard and degrading the
+  // sampler to its packed fallback. Placement must track placed ids
+  // explicitly.
+  const Allocation ascending(AllocationSpec{4, 0, 0, 0});
+  std::vector<Component> reversed(ascending.components().rbegin(),
+                                  ascending.components().rend());
+  const Allocation reordered(std::move(reversed));
+  EXPECT_EQ(reordered.size(), 4u);
+  EXPECT_EQ(reordered.spec().mixers, 4);
+  // component(id) resolves by id, not by list position.
+  for (const auto& comp : ascending.components()) {
+    EXPECT_EQ(reordered.component(comp.id).name, comp.name);
+  }
+
+  ChipSpec chip;
+  chip.grid_width = 14;
+  chip.grid_height = 14;  // tight: overlaps are likely without the fix
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    Rng rng(seed);
+    const Placement p = random_placement(reordered, chip, rng);
+    EXPECT_TRUE(p.is_legal(reordered, chip)) << "seed " << seed;
+  }
+  // The sampler (not the packed fallback) should succeed for at least one
+  // seed: distinct seeds must not all collapse to the same layout.
+  bool any_difference = false;
+  Rng r1(1), r2(2);
+  const Placement a = random_placement(reordered, chip, r1);
+  const Placement b = random_placement(reordered, chip, r2);
+  for (const auto& comp : reordered.components()) {
+    if (a.at(comp.id).origin != b.at(comp.id).origin ||
+        a.at(comp.id).rotated != b.at(comp.id).rotated) {
+      any_difference = true;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(Allocation, ExplicitComponentsRejectNonDenseIds) {
+  const Allocation base(AllocationSpec{2, 0, 0, 0});
+  std::vector<Component> dup = base.components();
+  dup[1].id = dup[0].id;
+  EXPECT_THROW(Allocation{std::move(dup)}, std::invalid_argument);
+  std::vector<Component> sparse = base.components();
+  sparse[1].id = ComponentId{5};
+  EXPECT_THROW(Allocation{std::move(sparse)}, std::invalid_argument);
+}
+
 TEST(RandomPlacement, ThrowsWhenAllocationCannotFit) {
   const Allocation alloc(AllocationSpec{8, 8, 8, 8});
   ChipSpec tiny;

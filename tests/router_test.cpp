@@ -236,6 +236,65 @@ TEST(Router, PathsAvoidFootprints) {
   }
 }
 
+TEST(Router, OccupyConflictThrowsRoutingError) {
+  // Regression: in release builds occupy() used to assert (a no-op under
+  // NDEBUG) and silently keep a conflicting reservation. The only reachable
+  // path to such a conflict is the 1000-iteration cap of
+  // earliest_feasible_start: alternating one-second occupancy combs on two
+  // adjacent corridor cells advance the feasible start by exactly one
+  // second per iteration, so the cap returns a start that still overlaps
+  // one comb — which occupy must reject loudly in every build type.
+  Allocation alloc{AllocationSpec{2, 0, 0, 0}};
+  ChipSpec chip;
+  chip.grid_width = 11;
+  chip.grid_height = 5;
+  Placement placement{2};
+  placement.at(ComponentId{0}) = {{0, 1}, false};  // x0..3, y1..3
+  placement.at(ComponentId{1}) = {{7, 1}, false};  // x7..10, y1..3
+  WashModel wash;
+  RoutingGrid grid(chip, alloc, placement);
+  // Wall off everything except the single corridor (4,2)-(5,2)-(6,2).
+  for (int x = 0; x < chip.grid_width; ++x) {
+    grid.cell(Point{x, 0}).blocked = true;
+    grid.cell(Point{x, 4}).blocked = true;
+  }
+  for (int x = 4; x <= 6; ++x) {
+    grid.cell(Point{x, 1}).blocked = true;
+    grid.cell(Point{x, 3}).blocked = true;
+  }
+  // Combs: (4,2) busy on even seconds, (5,2) busy on odd seconds, well past
+  // the 1000-iteration horizon.
+  for (int k = 0; k <= 1500; ++k) {
+    ASSERT_TRUE(grid.cell(Point{4, 2})
+                    .occupancy.insert_disjoint({2.0 * k, 2.0 * k + 1.0}));
+    ASSERT_TRUE(grid.cell(Point{5, 2})
+                    .occupancy.insert_disjoint(
+                        {2.0 * k + 1.0, 2.0 * k + 2.0}));
+  }
+  Schedule s;
+  TransportTask t = RouterFixture::transport(0, 0, 1, 0.0, 1.0);
+  t.transport_time = 1.0;  // hold exactly one second per cell
+  s.transports = {t};
+  RouterOptions opts;
+  opts.wash_aware_weights = false;
+  opts.conflict_aware = false;  // postponement mode hits the iteration cap
+  EXPECT_THROW(route_transports(grid, s, wash, opts), RoutingError);
+}
+
+TEST(Router, StatsCountSearchEffort) {
+  RouterFixture fx;
+  auto grid = fx.grid();
+  Schedule s;
+  s.transports = {RouterFixture::transport(0, 0, 1, 0.0, 2.0),
+                  RouterFixture::transport(1, 2, 1, 0.0, 2.0)};
+  const auto result = route_transports(grid, s, fx.wash);
+  EXPECT_EQ(result.stats.tasks_routed, 2u);
+  EXPECT_GT(result.stats.nodes_expanded, 0u);
+  EXPECT_GT(result.stats.heap_pushes, 0u);
+  // One heuristic field per distinct target component (component 1 twice).
+  EXPECT_EQ(result.stats.distance_fields_built, 1u);
+}
+
 TEST(RoutingResult, DistinctEdgesCountsSharingOnce) {
   RoutingResult result;
   RoutedPath a;

@@ -45,7 +45,7 @@ TEST(WashPlanner, NoWashesNoFlushes) {
   s.transports = {Fixture::transport(0, 0, 1, 0.0, 2.0, Fluid{"f", 1e-5})};
   const auto routing = route_transports(grid, s, fx.wash);
   RoutingGrid fresh(fx.chip, fx.alloc, fx.placement);
-  const auto plan = plan_wash_pathways(fresh, routing, s);
+  const auto plan = plan_wash_pathways(fresh, routing, s, fx.wash);
   EXPECT_TRUE(plan.flushes.empty());
   EXPECT_EQ(plan.infeasible_count, 0);
 }
@@ -64,7 +64,7 @@ TEST(WashPlanner, FlushPlannedForForeignResidue) {
   ASSERT_GT(routing.paths[1].wash_duration, 0.0);
 
   RoutingGrid fresh(fx.chip, fx.alloc, fx.placement);
-  const auto plan = plan_wash_pathways(fresh, routing, s);
+  const auto plan = plan_wash_pathways(fresh, routing, s, fx.wash);
   ASSERT_EQ(plan.flushes.size(), 1u);
   const auto& flush = plan.flushes[0];
   EXPECT_TRUE(flush.feasible);
@@ -94,7 +94,7 @@ TEST(WashPlanner, PathwayIsConnected) {
   opts.wash_aware_weights = false;
   const auto routing = route_transports(grid, s, fx.wash, opts);
   RoutingGrid fresh(fx.chip, fx.alloc, fx.placement);
-  const auto plan = plan_wash_pathways(fresh, routing, s);
+  const auto plan = plan_wash_pathways(fresh, routing, s, fx.wash);
   for (const auto& flush : plan.flushes) {
     if (!flush.feasible) continue;
     for (std::size_t i = 1; i < flush.cells.size(); ++i) {
@@ -118,11 +118,74 @@ TEST(WashPlanner, ExplicitPorts) {
   WashPlanOptions wopts;
   wopts.inlet = {0, 19};
   wopts.outlet = {19, 0};
-  const auto plan = plan_wash_pathways(fresh, routing, s, wopts);
+  const auto plan = plan_wash_pathways(fresh, routing, s, fx.wash, wopts);
   EXPECT_EQ(plan.inlet, (Point{0, 19}));
   EXPECT_EQ(plan.outlet, (Point{19, 0}));
   ASSERT_FALSE(plan.flushes.empty());
   EXPECT_TRUE(plan.flushes[0].feasible);
+}
+
+TEST(WashPlanner, ReplayIncludesWashLead) {
+  // Regression: the occupancy replay used to book each path as
+  // [path.start, end), omitting the wash prefix [start - wash, start) the
+  // router actually reserves. A flush window overlapping only another
+  // task's wash lead was then declared conflict_free. The replay must
+  // re-derive per-cell washes from simulated residues, like the validator.
+  Fixture fx;
+  RoutingGrid fresh(fx.chip, fx.alloc, fx.placement);
+
+  const Fluid g{"g", 2e-6};
+  const Fluid f{"f", 1e-5};
+  const Fluid h{"h", 1e-5};
+  fx.wash.set_override(g.diffusion_coefficient, 2.0);
+
+  Schedule s;
+  s.transports = {Fixture::transport(0, 0, 1, 0.0, 3.0, g),
+                  Fixture::transport(1, 0, 1, 11.0, 13.0, f),
+                  Fixture::transport(2, 0, 1, 10.0, 12.0, h)};
+
+  RoutingResult routing;
+  // Task 0 leaves residue g on (8,2) and (9,2).
+  RoutedPath p0;
+  p0.transport_id = 0;
+  p0.cells = {{8, 2}, {9, 2}};
+  p0.start = 0.0;
+  p0.transport_end = 3.0;
+  p0.cache_until = 3.0;
+  // Task 1 crosses the g residue at (8,2): the router booked
+  // [11 - wash(g), 13) = [9, 13) there. Its wash_duration field is left 0
+  // so the planner does not flush it — the replay must still recover the
+  // 2 s lead from the simulated residues, not from this field.
+  RoutedPath p1;
+  p1.transport_id = 1;
+  p1.cells = {{8, 2}, {8, 3}};
+  p1.start = 11.0;
+  p1.transport_end = 13.0;
+  p1.cache_until = 13.0;
+  // Task 2 is the flush under test: window [8, 10) on a corridor whose
+  // exit leg passes (8,2).
+  RoutedPath p2;
+  p2.transport_id = 2;
+  p2.cells = {{5, 2}, {6, 2}, {7, 2}};
+  p2.start = 10.0;
+  p2.transport_end = 12.0;
+  p2.cache_until = 12.0;
+  p2.wash_duration = 2.0;
+  routing.paths = {p0, p1, p2};
+
+  WashPlanOptions wopts;
+  wopts.inlet = {4, 2};
+  wopts.outlet = {8, 2};
+  const auto plan = plan_wash_pathways(fresh, routing, s, fx.wash, wopts);
+  ASSERT_EQ(plan.flushes.size(), 1u);
+  const auto& flush = plan.flushes[0];
+  ASSERT_TRUE(flush.feasible);
+  EXPECT_DOUBLE_EQ(flush.start, 8.0);
+  EXPECT_DOUBLE_EQ(flush.end, 10.0);
+  // (8,2) carries [0,3) and — wash lead included — [9,13): the flush
+  // window [8,10) collides. The pre-fix replay saw [11,13) and missed it.
+  EXPECT_FALSE(flush.conflict_free);
+  EXPECT_EQ(plan.conflicted_count, 1);
 }
 
 TEST(WashPlanner, FlushLengthAccounting) {
@@ -143,7 +206,7 @@ TEST(WashPlanner, FullFlowsPlanFeasibleFlushes) {
     const auto result = synthesize_dcsa(bench.graph, alloc, bench.wash);
     RoutingGrid fresh(result.chip, alloc, result.placement);
     const auto plan =
-        plan_wash_pathways(fresh, result.routing, result.schedule);
+        plan_wash_pathways(fresh, result.routing, result.schedule, bench.wash);
     EXPECT_EQ(plan.infeasible_count, 0)
         << bench.name << ": every flush should find a pathway";
     int with_wash = 0;
