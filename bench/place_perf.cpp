@@ -1,0 +1,192 @@
+// Placer-core micro-benchmark: incremental PlacerCore vs the
+// full-recompute reference placer.
+//
+// For every paper benchmark this bench builds one schedule with the
+// paper's DCSA flow, then times place_component_candidates (delta
+// energies, in-place moves, occupancy-grid legality) against
+// place_component_candidates_reference (per-proposal Placement copies and
+// full energy recomputation), verifying along the way that the two
+// produce bit-identical placements and energies. Reports a table and a
+// JSON object with per-benchmark timings, proposal throughput, and the
+// core's search counters.
+//
+//   build/bench/place_perf [--json-out FILE]
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_suite/benchmarks.hpp"
+#include "place/reference_placer.hpp"
+#include "place/sa_placer.hpp"
+#include "report/table.hpp"
+#include "schedule/list_scheduler.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using namespace fbmb;
+using Clock = std::chrono::steady_clock;
+
+constexpr int kReps = 3;
+
+struct Scenario {
+  std::string name;
+  Allocation alloc;
+  Schedule schedule;
+  ChipSpec chip;
+  WashModel wash;
+  PlacerOptions placer;
+  std::vector<Net> nets;
+};
+
+Scenario prepare(const Benchmark& bench) {
+  Scenario s;
+  s.name = bench.name;
+  s.alloc = Allocation(bench.allocation);
+  s.wash = bench.wash;
+  SchedulerOptions sched;
+  sched.policy = BindingPolicy::kDcsa;
+  sched.refine_storage = true;
+  s.schedule = schedule_bioassay(bench.graph, s.alloc, bench.wash, sched);
+  s.chip = derive_grid(ChipSpec{}, allocation_area(s.alloc, 1));
+  s.placer.restarts = 1;  // per-restart proposal throughput
+  s.nets = build_nets(s.schedule, s.wash, s.placer.beta, s.placer.gamma);
+  return s;
+}
+
+bool identical(const Scenario& s, const std::vector<Placement>& a,
+               const std::vector<Placement>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t r = 0; r < a.size(); ++r) {
+    for (const auto& comp : s.alloc.components()) {
+      if (a[r].at(comp.id).origin != b[r].at(comp.id).origin ||
+          a[r].at(comp.id).rotated != b[r].at(comp.id).rotated) {
+        return false;
+      }
+    }
+    const double ea =
+        placement_energy(a[r], s.alloc, s.nets, s.placer.compaction_weight);
+    const double eb =
+        placement_energy(b[r], s.alloc, s.nets, s.placer.compaction_weight);
+    if (ea != eb) return false;  // bitwise
+  }
+  return true;
+}
+
+template <typename PlaceFn>
+double time_place(const Scenario& s, PlaceFn place,
+                  std::vector<Placement>& last) {
+  double best = 0.0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    const auto t0 = Clock::now();
+    std::vector<Placement> result = place(s);
+    const double seconds =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    if (rep == 0 || seconds < best) best = seconds;
+    last = std::move(result);
+  }
+  return best;
+}
+
+std::string num(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_out;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json-out") == 0 && i + 1 < argc) {
+      json_out = argv[++i];
+    }
+  }
+
+  TextTable table({"Benchmark", "Comps", "Nets", "Ref (ms)", "Core (ms)",
+                   "Speedup", "Proposals/s", "Accepts"},
+                  {Align::kLeft, Align::kRight, Align::kRight, Align::kRight,
+                   Align::kRight, Align::kRight, Align::kRight,
+                   Align::kRight});
+
+  std::ostringstream json;
+  json << "{\"reps\": " << kReps << ", \"benchmarks\": [";
+  bool first = true;
+  bool all_equal = true;
+
+  for (const auto& bench : paper_benchmarks()) {
+    const Scenario s = prepare(bench);
+
+    std::vector<Placement> core;
+    PlaceStats stats;
+    const double core_s = time_place(
+        s,
+        [&stats](const Scenario& sc) {
+          PlaceStats rep_stats;
+          auto out = place_component_candidates(sc.alloc, sc.schedule,
+                                                sc.wash, sc.chip, sc.placer,
+                                                &rep_stats);
+          stats = rep_stats;  // keep the last rep's counters
+          return out;
+        },
+        core);
+    std::vector<Placement> ref;
+    const double ref_s = time_place(
+        s,
+        [](const Scenario& sc) {
+          return place_component_candidates_reference(
+              sc.alloc, sc.schedule, sc.wash, sc.chip, sc.placer);
+        },
+        ref);
+
+    if (!identical(s, core, ref)) {
+      all_equal = false;
+      std::cerr << "MISMATCH: " << s.name
+                << ": placer core result differs from reference\n";
+    }
+
+    const double speedup = core_s > 0.0 ? ref_s / core_s : 0.0;
+    const double proposals_per_s =
+        core_s > 0.0 ? static_cast<double>(stats.proposals) / core_s : 0.0;
+    table.add_row({s.name, std::to_string(s.alloc.size()),
+                   std::to_string(s.nets.size()),
+                   format_double(ref_s * 1e3, 3),
+                   format_double(core_s * 1e3, 3),
+                   format_double(speedup, 2),
+                   format_double(proposals_per_s, 0),
+                   std::to_string(stats.accepts)});
+
+    json << (first ? "" : ",") << "\n  {\"name\": \"" << s.name
+         << "\", \"components\": " << s.alloc.size()
+         << ", \"nets\": " << s.nets.size()
+         << ", \"reference_seconds\": " << num(ref_s)
+         << ", \"core_seconds\": " << num(core_s)
+         << ", \"speedup\": " << num(speedup)
+         << ", \"proposals_per_second\": " << num(proposals_per_s)
+         << ", \"identical\": " << (identical(s, core, ref) ? "true" : "false")
+         << ", \"placement\": {\"proposals\": " << stats.proposals
+         << ", \"accepts\": " << stats.accepts
+         << ", \"delta_evals\": " << stats.delta_evals
+         << ", \"full_evals\": " << stats.full_evals
+         << ", \"occupancy_probes\": " << stats.occupancy_probes << "}}";
+    first = false;
+  }
+  json << "\n]}";
+
+  std::cout << "PLACER CORE: incremental delta-energy SA vs full-recompute "
+               "reference\n(best of " << kReps
+            << " runs per placer; results verified identical)\n\n"
+            << table << "\nJSON:\n" << json.str() << "\n";
+  if (!json_out.empty()) {
+    std::ofstream out(json_out);
+    out << json.str() << "\n";
+    std::cout << "wrote " << json_out << "\n";
+  }
+  return all_equal ? 0 : 1;
+}

@@ -8,10 +8,12 @@
 // JSON object with the per-benchmark timings and the flat core's search
 // counters (nodes expanded, heap pushes, feasibility rejections).
 //
-//   build/bench/route_perf
+//   build/bench/route_perf [--json-out FILE]
 
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -99,7 +101,14 @@ std::string num(double v) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_out;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json-out") == 0 && i + 1 < argc) {
+      json_out = argv[++i];
+    }
+  }
+
   TextTable table({"Benchmark", "Tasks", "Ref (ms)", "Flat (ms)", "Speedup",
                    "Nodes", "Heap pushes", "Infeasible"},
                   {Align::kLeft, Align::kRight, Align::kRight, Align::kRight,
@@ -167,5 +176,10 @@ int main() {
                "(best of " << kReps << " runs per router; fresh grid each "
                "run; results verified identical)\n\n"
             << table << "\nJSON:\n" << json.str() << "\n";
+  if (!json_out.empty()) {
+    std::ofstream out(json_out);
+    out << json.str() << "\n";
+    std::cout << "wrote " << json_out << "\n";
+  }
   return all_equal ? 0 : 1;
 }

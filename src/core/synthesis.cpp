@@ -148,8 +148,9 @@ SynthesisResult synthesize_custom(const SequencingGraph& graph,
   // (Eq. 3) is only a proxy for these, so selection happens on the routed
   // metrics.
   const auto place_start = Clock::now();
+  PlaceStats place_stats;
   std::vector<Placement> candidates = place_component_candidates(
-      allocation, schedule, wash_model, chip, options.placer);
+      allocation, schedule, wash_model, chip, options.placer, &place_stats);
   stages.place = seconds_since(place_start);
   SynthesisResult best;
   bool have_best = false;
@@ -172,6 +173,7 @@ SynthesisResult synthesize_custom(const SequencingGraph& graph,
   }
   best.cpu_seconds = seconds_since(t0);
   best.stage_seconds = stages;
+  best.place_stats = place_stats;
   return best;
 }
 

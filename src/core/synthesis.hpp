@@ -64,6 +64,9 @@ struct SynthesisResult {
   RoutingResult routing;
   ChipSpec chip;          ///< with the resolved grid
   ScheduleStats stats;    ///< computed on the final schedule
+  /// SA placement search counters, summed over all restarts (zero for the
+  /// constructive/BA placer, which proposes no moves).
+  PlaceStats place_stats;
 
   double completion_time = 0.0;          ///< bioassay execution time (s)
   double utilization = 0.0;              ///< Eq. 1, in [0, 1]

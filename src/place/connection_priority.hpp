@@ -33,9 +33,20 @@ struct Net {
 };
 
 /// Number of transports whose movement window [departure, arrival) overlaps
-/// transport `index`'s (the nt_k term). Exposed for testing.
+/// transport `index`'s (the nt_k term). Quadratic over all transports;
+/// kept as the oracle for concurrent_transport_counts. Exposed for testing.
 int concurrent_transport_count(const std::vector<TransportTask>& transports,
                                std::size_t index);
+
+/// nt_k for every transport at once via sorted endpoint arrays and binary
+/// search — O(T log T) against the O(T^2) of calling
+/// concurrent_transport_count per index, with identical results. Edge
+/// cases follow TimeInterval's strict inequalities: touching windows do
+/// not count, and a zero-duration window overlaps exactly the windows
+/// whose interior strictly contains its instant (never another
+/// zero-duration window). Precondition: transport_time >= 0 per task.
+std::vector<int> concurrent_transport_counts(
+    const std::vector<TransportTask>& transports);
 
 /// Builds the net list with Eq. 4 priorities from a schedule. Transports
 /// with from == to (round trips through channel storage next to one

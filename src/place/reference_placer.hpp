@@ -1,0 +1,42 @@
+// Reference SA placer: the original full-recompute implementation.
+//
+// `place_components` now runs on PlacerCore (place/placer_core.hpp), which
+// evaluates proposals incrementally. This header keeps the original
+// implementation — copy-based proposals, O(nets) full-energy evaluation with
+// an O(n^2) pairwise compaction rescan, O(n) legality scans, and the
+// placed-id rejection sampler — verbatim as a test/bench oracle. The two
+// are bit-identical by construction: tests/placer_equivalence_test.cpp and
+// bench/place_perf assert identical placements and energies per paper
+// benchmark, and bench/place_perf reports the core's speedup.
+//
+// The reference keeps no PlaceStats (mirroring route_transports_reference,
+// which keeps no RouteStats): counters are telemetry, and the oracle stays
+// frozen.
+
+#pragma once
+
+#include "biochip/chip_spec.hpp"
+#include "biochip/component_library.hpp"
+#include "biochip/wash_model.hpp"
+#include "place/placement.hpp"
+#include "place/sa_placer.hpp"
+#include "schedule/types.hpp"
+
+namespace fbmb {
+
+/// Original full SA placement flow (lowest-energy restart wins). Same
+/// contract as place_components; bit-identical output for equal inputs.
+Placement place_components_reference(const Allocation& allocation,
+                                     const Schedule& schedule,
+                                     const WashModel& wash_model,
+                                     const ChipSpec& spec,
+                                     const PlacerOptions& options = {});
+
+/// Original per-restart candidate list. Same contract as
+/// place_component_candidates; bit-identical output for equal inputs.
+std::vector<Placement> place_component_candidates_reference(
+    const Allocation& allocation, const Schedule& schedule,
+    const WashModel& wash_model, const ChipSpec& spec,
+    const PlacerOptions& options = {});
+
+}  // namespace fbmb

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <type_traits>
 #include <utility>
 
 #include "util/rng.hpp"
@@ -62,6 +63,53 @@ std::pair<State, SaResult> anneal(State initial, EnergyFn&& energy,
           best = current;
           best_energy = current_energy;
         }
+      }
+    }
+  }
+  stats.best_energy = best_energy;
+  return {std::move(best), stats};
+}
+
+/// Annealing over an in-place move/undo model — the same schedule, accept
+/// rule, RNG consumption, and best tracking as `anneal`, without copying
+/// the state per proposal. Model requirements:
+///   double energy();                      // energy of the bound state
+///   std::optional<double> propose(Rng&);  // tentatively applies a move and
+///                                         // returns the candidate energy;
+///                                         // nullopt = infeasible, state
+///                                         // untouched
+///   void commit();                        // keep the tentative move
+///   void revert();                        // roll the tentative move back
+///   const State& state();                 // current state, for snapshots
+/// Returns the best state ever visited plus the run statistics. Given a
+/// model whose candidate energies match what `energy` would report on the
+/// copied candidate (bit-for-bit), the result is identical to `anneal`
+/// with a copy-based propose over the same RNG stream.
+template <typename Model>
+auto anneal_moves(Model& model, const SaOptions& opts, Rng& rng)
+    -> std::pair<std::decay_t<decltype(model.state())>, SaResult> {
+  double current_energy = model.energy();
+  std::decay_t<decltype(model.state())> best = model.state();
+  double best_energy = current_energy;
+  SaResult stats;
+
+  for (double t = opts.initial_temperature; t > opts.min_temperature;
+       t *= opts.cooling_rate) {
+    for (int i = 0; i < opts.iterations_per_temperature; ++i) {
+      ++stats.proposals;
+      const std::optional<double> candidate_energy = model.propose(rng);
+      if (!candidate_energy) continue;
+      const double delta = *candidate_energy - current_energy;
+      if (delta < 0.0 || rng.uniform() < std::exp(-delta / t)) {
+        model.commit();
+        current_energy = *candidate_energy;
+        ++stats.acceptances;
+        if (current_energy < best_energy) {
+          best = model.state();
+          best_energy = current_energy;
+        }
+      } else {
+        model.revert();
       }
     }
   }

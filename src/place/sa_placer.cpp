@@ -4,27 +4,12 @@
 #include <limits>
 #include <stdexcept>
 
+#include "place/placer_core.hpp"
 #include "util/logging.hpp"
 
 namespace fbmb {
 
 namespace {
-
-/// Legality of a single component's footprint against all others.
-bool fits(const Placement& placement, const Allocation& allocation,
-          const ChipSpec& spec, ComponentId id) {
-  const Rect chip{0, 0, spec.grid_width, spec.grid_height};
-  const Rect fp = placement.footprint(id, allocation);
-  if (!chip.contains(fp)) return false;
-  const Rect inflated = fp.inflated(spec.component_spacing);
-  for (const auto& other : allocation.components()) {
-    if (other.id == id) continue;
-    if (inflated.overlaps(placement.footprint(other.id, allocation))) {
-      return false;
-    }
-  }
-  return true;
-}
 
 /// Deterministic packed placement: row-major shelf packing. Fallback when
 /// rejection sampling cannot find a random legal start.
@@ -83,14 +68,14 @@ double placement_energy(const Placement& placement,
 Placement random_placement(const Allocation& allocation,
                            const ChipSpec& spec, Rng& rng) {
   Placement placement(allocation.size());
-  // Place components one by one at random legal spots. Clash checks run
-  // against the explicit set of already-placed ids: iteration order of
-  // allocation.components() is not assumed to be ascending-id, and ids not
-  // yet placed (whose Placement slots still hold the default {0,0} origin)
-  // must not be compared against.
+  // Place components one by one at random legal spots. The occupancy index
+  // answers each attempt's clash check from the candidate's own inflated
+  // footprint cells; only successfully placed components are inserted, so —
+  // like the placed-id scan this replaces — slots not yet placed are never
+  // compared against. Origins are drawn in [0, grid - w/h], so candidates
+  // are always in bounds and the spacing probe is the only rejection.
   constexpr int kTriesPerComponent = 200;
-  std::vector<ComponentId> placed_ids;
-  placed_ids.reserve(allocation.size());
+  OccupancyIndex occupancy(spec.grid_width, spec.grid_height);
   bool ok = true;
   for (const auto& comp : allocation.components()) {
     bool placed = false;
@@ -101,26 +86,12 @@ Placement random_placement(const Allocation& allocation,
       if (spec.grid_width - w < 0 || spec.grid_height - h < 0) break;
       const Point origin{rng.uniform_int(0, spec.grid_width - w),
                          rng.uniform_int(0, spec.grid_height - h)};
+      const Rect fp{origin.x, origin.y, w, h};
+      if (occupancy.occupied(fp.inflated(spec.component_spacing))) continue;
       placement.at(comp.id) = {origin, rotated};
-      bool clash = false;
-      const Rect fp =
-          placement.footprint(comp.id, allocation)
-              .inflated(spec.component_spacing);
-      const Rect chip{0, 0, spec.grid_width, spec.grid_height};
-      if (!chip.contains(placement.footprint(comp.id, allocation))) {
-        clash = true;
-      }
-      for (const ComponentId prev : placed_ids) {
-        if (clash) break;
-        if (fp.overlaps(placement.footprint(prev, allocation))) {
-          clash = true;
-        }
-      }
-      if (!clash) {
-        placed = true;
-        placed_ids.push_back(comp.id);
-        break;
-      }
+      occupancy.insert(fp, comp.id.value);
+      placed = true;
+      break;
     }
     if (!placed) {
       ok = false;
@@ -138,12 +109,17 @@ namespace {
 /// the same seed draws unrelated randomness.
 constexpr std::uint64_t kSeedDomain = 0x53415F504C414345ULL;
 
-/// Shared implementation: one polished SA run per restart. Returns
-/// (placement, energy) pairs in restart order.
+/// Shared implementation: one polished SA run per restart, each on its own
+/// PlacerCore (restarts may execute concurrently; cores share only const
+/// inputs). Returns (placement, energy) pairs in restart order. The whole
+/// pipeline is bit-identical to place_components_reference: the sampler
+/// draws and decides like the placed-id scan, anneal_moves consumes the
+/// RNG like anneal, and the core's candidate energies match the full
+/// recompute double for double.
 std::vector<std::pair<Placement, double>> run_sa_restarts(
     const Allocation& allocation, const Schedule& schedule,
     const WashModel& wash_model, const ChipSpec& spec,
-    const PlacerOptions& options) {
+    const PlacerOptions& options, PlaceStats* stats_out) {
   if (!spec.has_fixed_grid()) {
     throw std::invalid_argument(
         "place_components requires a fixed grid; call derive_grid first");
@@ -153,89 +129,15 @@ std::vector<std::pair<Placement, double>> run_sa_restarts(
   const std::vector<Net> nets =
       build_nets(schedule, wash_model, options.beta, options.gamma);
 
-  auto energy = [&](const Placement& p) {
-    return placement_energy(p, allocation, nets, options.compaction_weight);
-  };
-  auto propose = [&](const Placement& p,
-                     Rng& r) -> std::optional<Placement> {
-    Placement candidate = p;
-    const int n = static_cast<int>(allocation.size());
-    const ComponentId target{r.uniform_int(0, n - 1)};
-    const int kind = n >= 2 ? r.uniform_int(0, 3) : r.uniform_int(0, 2);
-    switch (kind) {
-      case 0: {  // translate to a random origin
-        const Component& comp = allocation.component(target);
-        PlacedComponent& pc = candidate.at(target);
-        const int w = pc.rotated ? comp.height : comp.width;
-        const int h = pc.rotated ? comp.width : comp.height;
-        if (spec.grid_width - w < 0 || spec.grid_height - h < 0) {
-          return std::nullopt;
-        }
-        pc.origin = {r.uniform_int(0, spec.grid_width - w),
-                     r.uniform_int(0, spec.grid_height - h)};
-        break;
-      }
-      case 1: {  // local nudge: low-temperature refinement moves
-        PlacedComponent& pc = candidate.at(target);
-        pc.origin.x += r.uniform_int(-3, 3);
-        pc.origin.y += r.uniform_int(-3, 3);
-        break;
-      }
-      case 2: {  // rotate 90 degrees
-        candidate.at(target).rotated = !candidate.at(target).rotated;
-        break;
-      }
-      default: {  // swap origins with another component
-        ComponentId other{r.uniform_int(0, n - 1)};
-        if (other == target) return std::nullopt;
-        std::swap(candidate.at(target).origin, candidate.at(other).origin);
-        if (!fits(candidate, allocation, spec, other)) return std::nullopt;
-        break;
-      }
-    }
-    if (!fits(candidate, allocation, spec, target)) return std::nullopt;
-    return candidate;
-  };
-
-  // Deterministic greedy polish: unit slides and rotations accepted while
-  // they strictly lower the energy. Cheap, and squeezes out the residual
-  // slack SA leaves at small instance sizes.
-  auto polish = [&](Placement& p) {
-    bool improved = true;
-    double e_best = energy(p);
-    while (improved) {
-      improved = false;
-      for (const auto& comp : allocation.components()) {
-        const PlacedComponent saved = p.at(comp.id);
-        PlacedComponent trial_best = saved;
-        const Point deltas[4] = {{1, 0}, {-1, 0}, {0, 1}, {0, -1}};
-        for (int rot = 0; rot < 2; ++rot) {
-          for (const Point& d : deltas) {
-            p.at(comp.id) = {saved.origin + d,
-                             rot == 1 ? !saved.rotated : saved.rotated};
-            if (!fits(p, allocation, spec, comp.id)) continue;
-            const double e = energy(p);
-            if (e < e_best - 1e-12) {
-              e_best = e;
-              trial_best = p.at(comp.id);
-              improved = true;
-            }
-          }
-        }
-        p.at(comp.id) = trial_best;
-      }
-    }
-    return e_best;
-  };
-
   // Each restart is an independent task: its Rng is forked from the master
-  // seed by index and it writes only its own slot, so running the tasks
+  // seed by index and it writes only its own slots, so running the tasks
   // serially or through options.restart_executor (any order, any number of
   // threads) yields bit-identical results.
   const int restarts = std::max(1, options.restarts);
   std::vector<std::pair<Placement, double>> results(
       static_cast<std::size_t>(restarts));
   std::vector<long> proposals(static_cast<std::size_t>(restarts), 0);
+  std::vector<PlaceStats> stats(static_cast<std::size_t>(restarts));
   std::vector<std::function<void()>> tasks;
   tasks.reserve(static_cast<std::size_t>(restarts));
   for (int restart = 0; restart < restarts; ++restart) {
@@ -243,12 +145,16 @@ std::vector<std::pair<Placement, double>> run_sa_restarts(
       Rng rng(fork_seed(options.seed ^ kSeedDomain,
                         static_cast<std::uint64_t>(restart)));
       Placement initial = random_placement(allocation, spec, rng);
-      auto [best, stats] = anneal(std::move(initial), energy, propose,
-                                  options.sa, rng);
-      const double e = polish(best);
+      PlacerCore core(allocation, spec, nets, options.compaction_weight);
+      core.bind(std::move(initial));
+      auto [best, sa] = anneal_moves(core, options.sa, rng);
+      // Polish the best state visited, not the final one: rebind it.
+      core.bind(std::move(best));
+      const double e = core.polish();
       const auto slot = static_cast<std::size_t>(restart);
-      proposals[slot] = stats.proposals;
-      results[slot] = {std::move(best), e};
+      proposals[slot] = sa.proposals;
+      stats[slot] = core.stats();
+      results[slot] = {core.state(), e};
     });
   }
   if (options.restart_executor) {
@@ -263,6 +169,9 @@ std::vector<std::pair<Placement, double>> run_sa_restarts(
               << " after " << proposals[static_cast<std::size_t>(restart)]
               << " proposals");
   }
+  if (stats_out) {
+    for (const PlaceStats& s : stats) *stats_out += s;
+  }
   return results;
 }
 
@@ -271,9 +180,9 @@ std::vector<std::pair<Placement, double>> run_sa_restarts(
 Placement place_components(const Allocation& allocation,
                            const Schedule& schedule,
                            const WashModel& wash_model, const ChipSpec& spec,
-                           const PlacerOptions& options) {
+                           const PlacerOptions& options, PlaceStats* stats) {
   auto results =
-      run_sa_restarts(allocation, schedule, wash_model, spec, options);
+      run_sa_restarts(allocation, schedule, wash_model, spec, options, stats);
   auto best = std::min_element(
       results.begin(), results.end(),
       [](const auto& a, const auto& b) { return a.second < b.second; });
@@ -283,9 +192,9 @@ Placement place_components(const Allocation& allocation,
 std::vector<Placement> place_component_candidates(
     const Allocation& allocation, const Schedule& schedule,
     const WashModel& wash_model, const ChipSpec& spec,
-    const PlacerOptions& options) {
+    const PlacerOptions& options, PlaceStats* stats) {
   auto results =
-      run_sa_restarts(allocation, schedule, wash_model, spec, options);
+      run_sa_restarts(allocation, schedule, wash_model, spec, options, stats);
   std::vector<Placement> out;
   out.reserve(results.size());
   for (auto& result : results) {

@@ -18,6 +18,7 @@
 #include "biochip/wash_model.hpp"
 #include "place/connection_priority.hpp"
 #include "place/placement.hpp"
+#include "place/placer_core.hpp"
 #include "place/sa_engine.hpp"
 #include "schedule/types.hpp"
 
@@ -50,18 +51,23 @@ double placement_energy(const Placement& placement,
                         const std::vector<Net>& nets,
                         double compaction_weight = 0.0);
 
-/// A random legal placement (rejection sampling with a packed fallback).
-/// Throws std::runtime_error if the grid cannot fit the allocation at all.
+/// A random legal placement (rejection sampling against an occupancy
+/// index, with a packed fallback). Throws std::runtime_error if the grid
+/// cannot fit the allocation at all.
 Placement random_placement(const Allocation& allocation,
                            const ChipSpec& spec, Rng& rng);
 
 /// Full SA placement flow; returns the lowest-energy result over
 /// options.restarts independent runs. `spec` must have a fixed grid
 /// (ChipSpec::has_fixed_grid); use derive_grid beforehand otherwise.
+/// Runs on the incremental PlacerCore; bit-identical to
+/// place_components_reference (place/reference_placer.hpp). If `stats` is
+/// non-null the search counters of every restart are accumulated into it.
 Placement place_components(const Allocation& allocation,
                            const Schedule& schedule,
                            const WashModel& wash_model, const ChipSpec& spec,
-                           const PlacerOptions& options = {});
+                           const PlacerOptions& options = {},
+                           PlaceStats* stats = nullptr);
 
 /// One polished placement per restart (options.restarts of them), for
 /// callers that want to pick by a downstream metric (e.g. routed channel
@@ -69,7 +75,7 @@ Placement place_components(const Allocation& allocation,
 std::vector<Placement> place_component_candidates(
     const Allocation& allocation, const Schedule& schedule,
     const WashModel& wash_model, const ChipSpec& spec,
-    const PlacerOptions& options = {});
+    const PlacerOptions& options = {}, PlaceStats* stats = nullptr);
 
 /// Total footprint area of the allocation including spacing margins; used
 /// with derive_grid.

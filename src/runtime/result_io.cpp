@@ -488,7 +488,12 @@ std::string synthesis_result_to_json(const SynthesisResult& result) {
   write_schedule(os, result.schedule);
   os << ", \"placement\": ";
   write_placement(os, result.placement);
-  os << ", \"routing\": ";
+  os << ", \"place_stats\": {\"proposals\": " << result.place_stats.proposals
+     << ", \"accepts\": " << result.place_stats.accepts
+     << ", \"delta_evals\": " << result.place_stats.delta_evals
+     << ", \"full_evals\": " << result.place_stats.full_evals
+     << ", \"occupancy_probes\": " << result.place_stats.occupancy_probes
+     << "}, \"routing\": ";
   write_routing(os, result.routing);
   os << "}";
   return os.str();
@@ -542,6 +547,19 @@ std::optional<SynthesisResult> synthesis_result_from_value(
   result.chip.component_spacing = get_int(*chip, "component_spacing", ok);
   result.chip.cache_segment_cells =
       get_int(*chip, "cache_segment_cells", ok);
+  // place_stats is optional so spills written before the placement
+  // counters existed still load (all counters default to zero).
+  if (const jsonio::Value* ps = root.find("place_stats");
+      ps && ps->kind == jsonio::Value::Kind::kObject) {
+    auto u64 = [&](const char* key) {
+      return static_cast<std::uint64_t>(get_num(*ps, key, ok));
+    };
+    result.place_stats.proposals = u64("proposals");
+    result.place_stats.accepts = u64("accepts");
+    result.place_stats.delta_evals = u64("delta_evals");
+    result.place_stats.full_evals = u64("full_evals");
+    result.place_stats.occupancy_probes = u64("occupancy_probes");
+  }
   const jsonio::Value* schedule = root.find("schedule");
   const jsonio::Value* placement = root.find("placement");
   const jsonio::Value* routing = root.find("routing");

@@ -115,6 +115,7 @@ JobOutcome SynthesisEngine::execute(const SynthesisJob& job) {
   outcome.wall_seconds = seconds_since(t0);
   telemetry_.record_stage_times(outcome.result.stage_seconds);
   telemetry_.record_route_stats(outcome.result.routing.stats);
+  telemetry_.record_place_stats(outcome.result.place_stats);
   telemetry_.record_synthesis_seconds(outcome.wall_seconds);
   telemetry_.job_finished();
   return outcome;
@@ -155,6 +156,13 @@ std::string SynthesisEngine::telemetry_json(
        << outcome.result.routing.stats.postponement_steps
        << ", \"distance_fields_built\": "
        << outcome.result.routing.stats.distance_fields_built << "}"
+       << ", \"placement\": {\"proposals\": "
+       << outcome.result.place_stats.proposals
+       << ", \"accepts\": " << outcome.result.place_stats.accepts
+       << ", \"delta_evals\": " << outcome.result.place_stats.delta_evals
+       << ", \"full_evals\": " << outcome.result.place_stats.full_evals
+       << ", \"occupancy_probes\": "
+       << outcome.result.place_stats.occupancy_probes << "}"
        << ", \"completion_time\": "
        << number(outcome.result.completion_time) << "}";
     first = false;

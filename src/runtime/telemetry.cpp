@@ -32,6 +32,14 @@ void Telemetry::record_route_stats(const RouteStats& stats) {
   route_distance_fields_built_.fetch_add(stats.distance_fields_built);
 }
 
+void Telemetry::record_place_stats(const PlaceStats& stats) {
+  place_proposals_.fetch_add(stats.proposals);
+  place_accepts_.fetch_add(stats.accepts);
+  place_delta_evals_.fetch_add(stats.delta_evals);
+  place_full_evals_.fetch_add(stats.full_evals);
+  place_occupancy_probes_.fetch_add(stats.occupancy_probes);
+}
+
 void Telemetry::record_queue_depth(std::uint64_t depth) {
   std::uint64_t current = max_queue_depth_.load(std::memory_order_relaxed);
   while (depth > current &&
@@ -59,6 +67,11 @@ Telemetry::Snapshot Telemetry::snapshot() const {
   s.routing.feasibility_rejections = route_feasibility_rejections_.load();
   s.routing.postponement_steps = route_postponement_steps_.load();
   s.routing.distance_fields_built = route_distance_fields_built_.load();
+  s.placement.proposals = place_proposals_.load();
+  s.placement.accepts = place_accepts_.load();
+  s.placement.delta_evals = place_delta_evals_.load();
+  s.placement.full_evals = place_full_evals_.load();
+  s.placement.occupancy_probes = place_occupancy_probes_.load();
   return s;
 }
 
@@ -81,6 +94,11 @@ void Telemetry::reset() {
   route_feasibility_rejections_.store(0);
   route_postponement_steps_.store(0);
   route_distance_fields_built_.store(0);
+  place_proposals_.store(0);
+  place_accepts_.store(0);
+  place_delta_evals_.store(0);
+  place_full_evals_.store(0);
+  place_occupancy_probes_.store(0);
 }
 
 std::string Telemetry::to_json(const Snapshot& s) {
@@ -102,6 +120,11 @@ std::string Telemetry::to_json(const Snapshot& s) {
      << ", \"feasibility_rejections\": " << s.routing.feasibility_rejections
      << ", \"postponement_steps\": " << s.routing.postponement_steps
      << ", \"distance_fields_built\": " << s.routing.distance_fields_built
+     << "}, \"placement\": {\"proposals\": " << s.placement.proposals
+     << ", \"accepts\": " << s.placement.accepts
+     << ", \"delta_evals\": " << s.placement.delta_evals
+     << ", \"full_evals\": " << s.placement.full_evals
+     << ", \"occupancy_probes\": " << s.placement.occupancy_probes
      << "}, \"max_queue_depth\": " << s.max_queue_depth
      << ", \"synthesis_seconds\": " << number(s.synthesis_seconds) << "}";
   return os.str();

@@ -54,6 +54,7 @@ class Telemetry {
     std::uint64_t max_queue_depth = 0;
     double synthesis_seconds = 0.0;  ///< summed job wall time (cache misses)
     RouteStats routing;              ///< summed router counters (cache misses)
+    PlaceStats placement;            ///< summed placer counters (cache misses)
   };
 
   void record_cache_hit() { cache_hits_.fetch_add(1); }
@@ -71,6 +72,9 @@ class Telemetry {
 
   /// Folds one completed job's router counters into the aggregate.
   void record_route_stats(const RouteStats& stats);
+
+  /// Folds one completed job's placer counters into the aggregate.
+  void record_place_stats(const PlaceStats& stats);
 
   void record_synthesis_seconds(double seconds) {
     add(synthesis_seconds_, seconds);
@@ -113,6 +117,11 @@ class Telemetry {
   std::atomic<std::uint64_t> route_feasibility_rejections_{0};
   std::atomic<std::uint64_t> route_postponement_steps_{0};
   std::atomic<std::uint64_t> route_distance_fields_built_{0};
+  std::atomic<std::uint64_t> place_proposals_{0};
+  std::atomic<std::uint64_t> place_accepts_{0};
+  std::atomic<std::uint64_t> place_delta_evals_{0};
+  std::atomic<std::uint64_t> place_full_evals_{0};
+  std::atomic<std::uint64_t> place_occupancy_probes_{0};
 };
 
 }  // namespace fbmb

@@ -4,6 +4,7 @@
 
 #include "bench_suite/benchmarks.hpp"
 #include "schedule/list_scheduler.hpp"
+#include "util/rng.hpp"
 
 namespace fbmb {
 namespace {
@@ -38,6 +39,51 @@ TEST(ConcurrentTransportCount, TouchingWindowsDoNotCount) {
       make_transport(1, 2, 3, 2.0, 2.0, 4.0, 1e-5),  // [2,4)
   };
   EXPECT_EQ(concurrent_transport_count(ts, 0), 0);
+}
+
+TEST(ConcurrentTransportCounts, ZeroDurationWindows) {
+  // A zero-duration window overlaps exactly the windows whose interior
+  // strictly contains its instant — never a touching endpoint and never
+  // another zero-duration window, even one at the same instant.
+  std::vector<TransportTask> ts = {
+      make_transport(0, 0, 1, 0.0, 4.0, 4.0, 1e-5),  // [0,4)
+      make_transport(1, 2, 3, 2.0, 0.0, 2.0, 1e-5),  // instant at 2
+      make_transport(2, 4, 5, 2.0, 0.0, 2.0, 1e-5),  // instant at 2
+      make_transport(3, 6, 7, 4.0, 0.0, 4.0, 1e-5),  // instant at 4 (touch)
+  };
+  const std::vector<int> counts = concurrent_transport_counts(ts);
+  ASSERT_EQ(counts.size(), ts.size());
+  EXPECT_EQ(counts[0], 2);  // the two instants inside (0,4)
+  EXPECT_EQ(counts[1], 1);  // task 0 only, not the co-located instant
+  EXPECT_EQ(counts[2], 1);
+  EXPECT_EQ(counts[3], 0);  // touching the end of [0,4) does not count
+}
+
+TEST(ConcurrentTransportCounts, MatchesQuadraticOracleOnRandomWindows) {
+  // The sweep must agree index-for-index with the O(T^2) oracle on random
+  // window soups, including duplicated endpoints and zero-duration windows.
+  Rng rng(2024);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int n = rng.uniform_int(1, 40);
+    std::vector<TransportTask> ts;
+    ts.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      // Integer-grid departures force plenty of shared endpoints; roughly a
+      // quarter of the windows are zero-duration.
+      const double dep = static_cast<double>(rng.uniform_int(0, 12));
+      const double dur = rng.chance(0.25)
+                             ? 0.0
+                             : static_cast<double>(rng.uniform_int(1, 6));
+      ts.push_back(make_transport(i, 2 * i, 2 * i + 1, dep, dur, dep + dur,
+                                  1e-5));
+    }
+    const std::vector<int> sweep = concurrent_transport_counts(ts);
+    ASSERT_EQ(sweep.size(), ts.size());
+    for (std::size_t k = 0; k < ts.size(); ++k) {
+      EXPECT_EQ(sweep[k], concurrent_transport_count(ts, k))
+          << "trial " << trial << ", task " << k;
+    }
+  }
 }
 
 TEST(BuildNets, EquationFourArithmetic) {

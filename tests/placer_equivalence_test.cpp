@@ -1,0 +1,88 @@
+// Incremental PlacerCore placement vs the full-recompute reference.
+//
+// The rewrite of place_components onto PlacerCore (in-place moves, delta
+// energies, occupancy-grid legality) must be a pure optimization: for
+// every paper benchmark, at fixed seeds, every restart candidate must be
+// bit-identical to place_component_candidates_reference — same origins,
+// same rotations, and the same Eq. 3 energy double for double. Stats are
+// telemetry and excluded by design (the reference keeps none).
+
+#include <gtest/gtest.h>
+
+#include "bench_suite/benchmarks.hpp"
+#include "place/reference_placer.hpp"
+#include "place/sa_placer.hpp"
+#include "schedule/list_scheduler.hpp"
+
+namespace fbmb {
+namespace {
+
+void run_benchmark(const Benchmark& bench) {
+  const Allocation alloc(bench.allocation);
+  SchedulerOptions sched;
+  sched.policy = BindingPolicy::kDcsa;
+  sched.refine_storage = true;
+  const Schedule schedule =
+      schedule_bioassay(bench.graph, alloc, bench.wash, sched);
+  const ChipSpec chip = derive_grid(ChipSpec{}, allocation_area(alloc, 1));
+
+  PlacerOptions placer;
+  placer.restarts = 2;  // cover the multi-restart min-element path too
+  const std::vector<Net> nets =
+      build_nets(schedule, bench.wash, placer.beta, placer.gamma);
+
+  PlaceStats stats;
+  const std::vector<Placement> core = place_component_candidates(
+      alloc, schedule, bench.wash, chip, placer, &stats);
+  const std::vector<Placement> ref = place_component_candidates_reference(
+      alloc, schedule, bench.wash, chip, placer);
+
+  ASSERT_EQ(core.size(), ref.size());
+  for (std::size_t r = 0; r < core.size(); ++r) {
+    SCOPED_TRACE(bench.name + "/restart " + std::to_string(r));
+    ASSERT_EQ(core[r].size(), ref[r].size());
+    for (const auto& comp : alloc.components()) {
+      SCOPED_TRACE("component " + comp.name);
+      EXPECT_EQ(core[r].at(comp.id).origin, ref[r].at(comp.id).origin);
+      EXPECT_EQ(core[r].at(comp.id).rotated, ref[r].at(comp.id).rotated);
+    }
+    // Bitwise: the core's incremental energy bookkeeping must reproduce
+    // the full recompute exactly, or accept decisions would diverge.
+    EXPECT_EQ(
+        placement_energy(core[r], alloc, nets, placer.compaction_weight),
+        placement_energy(ref[r], alloc, nets, placer.compaction_weight));
+    EXPECT_TRUE(core[r].is_legal(alloc, chip));
+  }
+
+  // The winning placement goes through the same min-element selection.
+  const Placement best =
+      place_components(alloc, schedule, bench.wash, chip, placer);
+  const Placement best_ref =
+      place_components_reference(alloc, schedule, bench.wash, chip, placer);
+  for (const auto& comp : alloc.components()) {
+    EXPECT_EQ(best.at(comp.id).origin, best_ref.at(comp.id).origin);
+    EXPECT_EQ(best.at(comp.id).rotated, best_ref.at(comp.id).rotated);
+  }
+
+  // Counters: the SA schedule proposes 150 moves per temperature level per
+  // restart, every restart binds twice (initial + pre-polish rebind), and
+  // legality runs through the occupancy grid.
+  EXPECT_GT(stats.proposals, 0u);
+  EXPECT_GT(stats.accepts, 0u);
+  EXPECT_GT(stats.delta_evals, 0u);
+  EXPECT_EQ(stats.full_evals,
+            2u * static_cast<std::uint64_t>(placer.restarts));
+  EXPECT_GT(stats.occupancy_probes, 0u);
+  EXPECT_GE(stats.delta_evals, stats.accepts);  // every commit was evaluated
+}
+
+TEST(PlacerEquivalence, Pcr) { run_benchmark(make_pcr()); }
+TEST(PlacerEquivalence, Ivd) { run_benchmark(make_ivd()); }
+TEST(PlacerEquivalence, Cpa) { run_benchmark(make_cpa()); }
+TEST(PlacerEquivalence, Synthetic1) { run_benchmark(make_synthetic(1)); }
+TEST(PlacerEquivalence, Synthetic2) { run_benchmark(make_synthetic(2)); }
+TEST(PlacerEquivalence, Synthetic3) { run_benchmark(make_synthetic(3)); }
+TEST(PlacerEquivalence, Synthetic4) { run_benchmark(make_synthetic(4)); }
+
+}  // namespace
+}  // namespace fbmb

@@ -85,6 +85,34 @@ TEST(RandomPlacement, HandlesReorderedAllocation) {
   EXPECT_TRUE(any_difference);
 }
 
+TEST(RandomPlacement, FallsBackToPackedOnTightGrid) {
+  // 4 mixers (4x3) on a 21x5 grid: the only legal layouts are near-perfect
+  // single-row packings, so the 200-try rejection sampler regularly runs
+  // out of attempts and must fall back to the deterministic row-major
+  // shelf packing at x = 1, 6, 11, 16. The fallback must survive the
+  // occupancy-index rewrite of the sampler.
+  const Allocation alloc(AllocationSpec{4, 0, 0, 0});
+  ChipSpec chip;
+  chip.grid_width = 21;
+  chip.grid_height = 5;
+  const Point packed[] = {{1, 1}, {6, 1}, {11, 1}, {16, 1}};
+  int fallbacks = 0;
+  for (std::uint64_t seed = 1; seed <= 32; ++seed) {
+    Rng rng(seed);
+    const Placement p = random_placement(alloc, chip, rng);
+    EXPECT_TRUE(p.is_legal(alloc, chip)) << "seed " << seed;
+    bool is_packed = true;
+    for (const auto& comp : alloc.components()) {
+      if (p.at(comp.id).origin != packed[comp.id.value] ||
+          p.at(comp.id).rotated) {
+        is_packed = false;
+      }
+    }
+    fallbacks += is_packed ? 1 : 0;
+  }
+  EXPECT_GT(fallbacks, 0);
+}
+
 TEST(Allocation, ExplicitComponentsRejectNonDenseIds) {
   const Allocation base(AllocationSpec{2, 0, 0, 0});
   std::vector<Component> dup = base.components();
@@ -135,6 +163,22 @@ TEST(PlacementEnergy, CompactionTermAddsPairwiseSpread) {
   const double compact = placement_energy(p, alloc, {}, 0.5);
   EXPECT_DOUBLE_EQ(no_compact, 0.0);
   EXPECT_DOUBLE_EQ(compact, 0.5 * 10.0);
+}
+
+TEST(PlacementEnergy, CompactionCombinesWithNetTerm) {
+  // Exact arithmetic: mixers are 4x3, centers are integer cell coordinates,
+  // so every term is a small integer times a weight. The net term and the
+  // compaction term must add independently.
+  const Allocation alloc(AllocationSpec{3, 0, 0, 0});
+  Placement p(alloc.size());
+  p.at(ComponentId{0}) = {{0, 0}, false};   // center (2, 1)
+  p.at(ComponentId{1}) = {{10, 0}, false};  // center (12, 1)
+  p.at(ComponentId{2}) = {{0, 7}, false};   // center (2, 8)
+  const std::vector<Net> nets = {{ComponentId{0}, ComponentId{1}, 2.0, 1}};
+  EXPECT_EQ(p.total_pairwise_distance(alloc), 10 + 7 + 17);
+  EXPECT_DOUBLE_EQ(placement_energy(p, alloc, nets, 0.0), 10.0 * 2.0);
+  EXPECT_DOUBLE_EQ(placement_energy(p, alloc, nets, 0.25),
+                   10.0 * 2.0 + 0.25 * 34.0);
 }
 
 TEST(SaPlacer, ProducesLegalPlacement) {

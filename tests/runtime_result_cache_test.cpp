@@ -183,7 +183,57 @@ TEST(ResultCache, SpillRoundTripsFullResultLosslessly) {
   }
   EXPECT_EQ(restored->routing.distinct_channel_edges(),
             original.routing.distinct_channel_edges());
+  // The SA placer's search counters ride along in the spill.
+  EXPECT_GT(original.place_stats.proposals, 0u);
+  EXPECT_EQ(restored->place_stats.proposals, original.place_stats.proposals);
+  EXPECT_EQ(restored->place_stats.accepts, original.place_stats.accepts);
+  EXPECT_EQ(restored->place_stats.delta_evals,
+            original.place_stats.delta_evals);
+  EXPECT_EQ(restored->place_stats.full_evals,
+            original.place_stats.full_evals);
+  EXPECT_EQ(restored->place_stats.occupancy_probes,
+            original.place_stats.occupancy_probes);
   std::remove(path.c_str());
+}
+
+TEST(ResultIo, PlaceStatsRoundTripAndBackwardCompat) {
+  SynthesisResult result = tiny_result(42.0);
+  result.place_stats.proposals = 13200;
+  result.place_stats.accepts = 5607;
+  result.place_stats.delta_evals = 8001;
+  result.place_stats.full_evals = 2;
+  result.place_stats.occupancy_probes = 15433;
+
+  const std::string json = synthesis_result_to_json(result);
+  EXPECT_NE(json.find("\"place_stats\""), std::string::npos);
+  const auto back = synthesis_result_from_json(json);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->place_stats.proposals, 13200u);
+  EXPECT_EQ(back->place_stats.accepts, 5607u);
+  EXPECT_EQ(back->place_stats.delta_evals, 8001u);
+  EXPECT_EQ(back->place_stats.full_evals, 2u);
+  EXPECT_EQ(back->place_stats.occupancy_probes, 15433u);
+
+  // Spills written before the counters existed have no "place_stats" key;
+  // they must still load, with the counters defaulting to zero.
+  SynthesisResult plain = tiny_result(7.0);
+  std::string legacy = synthesis_result_to_json(plain);
+  const std::size_t at = legacy.find("\"place_stats\"");
+  ASSERT_NE(at, std::string::npos);
+  const std::size_t end = legacy.find("}", at);
+  ASSERT_NE(end, std::string::npos);
+  // Remove `"place_stats": {...}, ` — the key through its closing brace
+  // plus the trailing comma-space separator.
+  legacy.erase(at, end - at + 3);
+  ASSERT_EQ(legacy.find("place_stats"), std::string::npos);
+  const auto old = synthesis_result_from_json(legacy);
+  ASSERT_TRUE(old.has_value());
+  EXPECT_EQ(old->completion_time, 7.0);
+  EXPECT_EQ(old->place_stats.proposals, 0u);
+  EXPECT_EQ(old->place_stats.accepts, 0u);
+  EXPECT_EQ(old->place_stats.delta_evals, 0u);
+  EXPECT_EQ(old->place_stats.full_evals, 0u);
+  EXPECT_EQ(old->place_stats.occupancy_probes, 0u);
 }
 
 TEST(ResultCache, LoadRejectsMalformedFiles) {
