@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate for the core-vs-reference perf JSONs.
+
+Parses the BENCH_*.json files written by route_perf / place_perf /
+sched_perf (--json-out) and fails when:
+
+  * any benchmark entry is missing the "identical" key or reports
+    identical != true (the core diverged from its reference oracle), or
+  * any benchmark's core-vs-reference speedup drops below --min-speedup
+    (default 1.0: the core must never be slower than the reference), or
+  * a file given via --geomean FILE=X has a geometric-mean speedup below
+    X (e.g. --geomean BENCH_sched.json=1.5 enforces the scheduler core's
+    acceptance threshold).
+
+Usage:
+  scripts/check_bench.py BENCH_route.json BENCH_place.json \
+      BENCH_sched.json --min-speedup 1.0 --geomean BENCH_sched.json=1.5
+"""
+
+import argparse
+import json
+import math
+import os
+import sys
+
+
+def load_benchmarks(path):
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    benchmarks = doc.get("benchmarks")
+    if not isinstance(benchmarks, list) or not benchmarks:
+        raise ValueError(f"{path}: no 'benchmarks' array")
+    return benchmarks
+
+
+def check_file(path, min_speedup, geomean_floor):
+    errors = []
+    benchmarks = load_benchmarks(path)
+    speedups = []
+    for entry in benchmarks:
+        name = entry.get("name", "<unnamed>")
+        if entry.get("identical") is not True:
+            errors.append(
+                f"{path}: {name}: core result is not reported identical "
+                f"to the reference (identical={entry.get('identical')!r})"
+            )
+        speedup = entry.get("speedup")
+        if not isinstance(speedup, (int, float)) or speedup <= 0:
+            errors.append(f"{path}: {name}: missing or invalid speedup")
+            continue
+        speedups.append(float(speedup))
+        if speedup < min_speedup:
+            errors.append(
+                f"{path}: {name}: speedup {speedup:.3f}x is below the "
+                f"{min_speedup:.2f}x floor"
+            )
+    geomean = None
+    if speedups:
+        geomean = math.exp(sum(map(math.log, speedups)) / len(speedups))
+        if geomean_floor is not None and geomean < geomean_floor:
+            errors.append(
+                f"{path}: geomean speedup {geomean:.3f}x is below the "
+                f"{geomean_floor:.2f}x floor"
+            )
+    return errors, speedups, geomean
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Fail when a core-vs-reference bench regresses."
+    )
+    parser.add_argument("files", nargs="+", help="BENCH_*.json files")
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=1.0,
+        help="per-benchmark speedup floor (default: 1.0)",
+    )
+    parser.add_argument(
+        "--geomean",
+        action="append",
+        default=[],
+        metavar="FILE=X",
+        help="geomean speedup floor for one file, by basename "
+        "(e.g. BENCH_sched.json=1.5); repeatable",
+    )
+    args = parser.parse_args(argv)
+
+    geomean_floors = {}
+    for spec in args.geomean:
+        name, sep, value = spec.partition("=")
+        if not sep:
+            parser.error(f"--geomean needs FILE=X, got {spec!r}")
+        geomean_floors[os.path.basename(name)] = float(value)
+
+    all_errors = []
+    for path in args.files:
+        floor = geomean_floors.get(os.path.basename(path))
+        try:
+            errors, speedups, geomean = check_file(
+                path, args.min_speedup, floor
+            )
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            all_errors.append(f"{path}: {exc}")
+            continue
+        all_errors.extend(errors)
+        summary = (
+            f"{path}: {len(speedups)} benchmarks, "
+            f"min {min(speedups):.2f}x, geomean {geomean:.2f}x"
+            if speedups
+            else f"{path}: no speedups"
+        )
+        if floor is not None:
+            summary += f" (floor {floor:.2f}x)"
+        print(summary)
+
+    if all_errors:
+        print(f"\n{len(all_errors)} regression(s):", file=sys.stderr)
+        for error in all_errors:
+            print(f"  {error}", file=sys.stderr)
+        return 1
+    print("all benchmark gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -114,8 +114,9 @@ SynthesisResult synthesize_custom(const SequencingGraph& graph,
   auto schedule_start = Clock::now();
   SchedulerOptions scheduler_options = options.scheduler;
   scheduler_options.refine_storage = false;
-  Schedule schedule =
-      schedule_bioassay(graph, allocation, wash_model, scheduler_options);
+  SchedStats sched_stats;
+  Schedule schedule = schedule_bioassay(graph, allocation, wash_model,
+                                        scheduler_options, &sched_stats);
   stages.schedule = seconds_since(schedule_start);
   if (options.scheduler.refine_storage) {
     const auto refine_start = Clock::now();
@@ -139,6 +140,7 @@ SynthesisResult synthesize_custom(const SequencingGraph& graph,
         finish(allocation, std::move(schedule), std::move(placement),
                std::move(routing), chip, t0);
     result.stage_seconds = stages;
+    result.sched_stats = sched_stats;
     return result;
   }
 
@@ -174,6 +176,7 @@ SynthesisResult synthesize_custom(const SequencingGraph& graph,
   best.cpu_seconds = seconds_since(t0);
   best.stage_seconds = stages;
   best.place_stats = place_stats;
+  best.sched_stats = sched_stats;
   return best;
 }
 

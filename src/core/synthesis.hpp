@@ -25,6 +25,7 @@
 #include "route/types.hpp"
 #include "schedule/list_scheduler.hpp"
 #include "schedule/metrics.hpp"
+#include "schedule/scheduler_core.hpp"
 #include "schedule/types.hpp"
 
 namespace fbmb {
@@ -67,6 +68,9 @@ struct SynthesisResult {
   /// SA placement search counters, summed over all restarts (zero for the
   /// constructive/BA placer, which proposes no moves).
   PlaceStats place_stats;
+  /// List-scheduler search counters (heap traffic, binding probes, Case
+  /// I/II decisions) for the single scheduling pass of the flow.
+  SchedStats sched_stats;
 
   double completion_time = 0.0;          ///< bioassay execution time (s)
   double utilization = 0.0;              ///< Eq. 1, in [0, 1]

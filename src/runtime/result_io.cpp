@@ -493,6 +493,13 @@ std::string synthesis_result_to_json(const SynthesisResult& result) {
      << ", \"delta_evals\": " << result.place_stats.delta_evals
      << ", \"full_evals\": " << result.place_stats.full_evals
      << ", \"occupancy_probes\": " << result.place_stats.occupancy_probes
+     << "}, \"sched_stats\": {\"ops_scheduled\": "
+     << result.sched_stats.ops_scheduled
+     << ", \"heap_pushes\": " << result.sched_stats.heap_pushes
+     << ", \"heap_pops\": " << result.sched_stats.heap_pops
+     << ", \"binding_probes\": " << result.sched_stats.binding_probes
+     << ", \"case1_bindings\": " << result.sched_stats.case1_bindings
+     << ", \"case2_bindings\": " << result.sched_stats.case2_bindings
      << "}, \"routing\": ";
   write_routing(os, result.routing);
   os << "}";
@@ -559,6 +566,20 @@ std::optional<SynthesisResult> synthesis_result_from_value(
     result.place_stats.delta_evals = u64("delta_evals");
     result.place_stats.full_evals = u64("full_evals");
     result.place_stats.occupancy_probes = u64("occupancy_probes");
+  }
+  // sched_stats is likewise optional for spills written before the
+  // scheduler counters existed.
+  if (const jsonio::Value* ss = root.find("sched_stats");
+      ss && ss->kind == jsonio::Value::Kind::kObject) {
+    auto u64 = [&](const char* key) {
+      return static_cast<std::uint64_t>(get_num(*ss, key, ok));
+    };
+    result.sched_stats.ops_scheduled = u64("ops_scheduled");
+    result.sched_stats.heap_pushes = u64("heap_pushes");
+    result.sched_stats.heap_pops = u64("heap_pops");
+    result.sched_stats.binding_probes = u64("binding_probes");
+    result.sched_stats.case1_bindings = u64("case1_bindings");
+    result.sched_stats.case2_bindings = u64("case2_bindings");
   }
   const jsonio::Value* schedule = root.find("schedule");
   const jsonio::Value* placement = root.find("placement");

@@ -116,6 +116,7 @@ JobOutcome SynthesisEngine::execute(const SynthesisJob& job) {
   telemetry_.record_stage_times(outcome.result.stage_seconds);
   telemetry_.record_route_stats(outcome.result.routing.stats);
   telemetry_.record_place_stats(outcome.result.place_stats);
+  telemetry_.record_sched_stats(outcome.result.sched_stats);
   telemetry_.record_synthesis_seconds(outcome.wall_seconds);
   telemetry_.job_finished();
   return outcome;
@@ -163,6 +164,16 @@ std::string SynthesisEngine::telemetry_json(
        << ", \"full_evals\": " << outcome.result.place_stats.full_evals
        << ", \"occupancy_probes\": "
        << outcome.result.place_stats.occupancy_probes << "}"
+       << ", \"scheduling\": {\"ops_scheduled\": "
+       << outcome.result.sched_stats.ops_scheduled
+       << ", \"heap_pushes\": " << outcome.result.sched_stats.heap_pushes
+       << ", \"heap_pops\": " << outcome.result.sched_stats.heap_pops
+       << ", \"binding_probes\": "
+       << outcome.result.sched_stats.binding_probes
+       << ", \"case1_bindings\": "
+       << outcome.result.sched_stats.case1_bindings
+       << ", \"case2_bindings\": "
+       << outcome.result.sched_stats.case2_bindings << "}"
        << ", \"completion_time\": "
        << number(outcome.result.completion_time) << "}";
     first = false;

@@ -40,6 +40,15 @@ void Telemetry::record_place_stats(const PlaceStats& stats) {
   place_occupancy_probes_.fetch_add(stats.occupancy_probes);
 }
 
+void Telemetry::record_sched_stats(const SchedStats& stats) {
+  sched_ops_scheduled_.fetch_add(stats.ops_scheduled);
+  sched_heap_pushes_.fetch_add(stats.heap_pushes);
+  sched_heap_pops_.fetch_add(stats.heap_pops);
+  sched_binding_probes_.fetch_add(stats.binding_probes);
+  sched_case1_bindings_.fetch_add(stats.case1_bindings);
+  sched_case2_bindings_.fetch_add(stats.case2_bindings);
+}
+
 void Telemetry::record_queue_depth(std::uint64_t depth) {
   std::uint64_t current = max_queue_depth_.load(std::memory_order_relaxed);
   while (depth > current &&
@@ -72,6 +81,12 @@ Telemetry::Snapshot Telemetry::snapshot() const {
   s.placement.delta_evals = place_delta_evals_.load();
   s.placement.full_evals = place_full_evals_.load();
   s.placement.occupancy_probes = place_occupancy_probes_.load();
+  s.scheduling.ops_scheduled = sched_ops_scheduled_.load();
+  s.scheduling.heap_pushes = sched_heap_pushes_.load();
+  s.scheduling.heap_pops = sched_heap_pops_.load();
+  s.scheduling.binding_probes = sched_binding_probes_.load();
+  s.scheduling.case1_bindings = sched_case1_bindings_.load();
+  s.scheduling.case2_bindings = sched_case2_bindings_.load();
   return s;
 }
 
@@ -99,6 +114,12 @@ void Telemetry::reset() {
   place_delta_evals_.store(0);
   place_full_evals_.store(0);
   place_occupancy_probes_.store(0);
+  sched_ops_scheduled_.store(0);
+  sched_heap_pushes_.store(0);
+  sched_heap_pops_.store(0);
+  sched_binding_probes_.store(0);
+  sched_case1_bindings_.store(0);
+  sched_case2_bindings_.store(0);
 }
 
 std::string Telemetry::to_json(const Snapshot& s) {
@@ -125,6 +146,12 @@ std::string Telemetry::to_json(const Snapshot& s) {
      << ", \"delta_evals\": " << s.placement.delta_evals
      << ", \"full_evals\": " << s.placement.full_evals
      << ", \"occupancy_probes\": " << s.placement.occupancy_probes
+     << "}, \"scheduling\": {\"ops_scheduled\": " << s.scheduling.ops_scheduled
+     << ", \"heap_pushes\": " << s.scheduling.heap_pushes
+     << ", \"heap_pops\": " << s.scheduling.heap_pops
+     << ", \"binding_probes\": " << s.scheduling.binding_probes
+     << ", \"case1_bindings\": " << s.scheduling.case1_bindings
+     << ", \"case2_bindings\": " << s.scheduling.case2_bindings
      << "}, \"max_queue_depth\": " << s.max_queue_depth
      << ", \"synthesis_seconds\": " << number(s.synthesis_seconds) << "}";
   return os.str();

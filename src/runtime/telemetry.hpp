@@ -55,6 +55,7 @@ class Telemetry {
     double synthesis_seconds = 0.0;  ///< summed job wall time (cache misses)
     RouteStats routing;              ///< summed router counters (cache misses)
     PlaceStats placement;            ///< summed placer counters (cache misses)
+    SchedStats scheduling;           ///< summed scheduler counters (cache misses)
   };
 
   void record_cache_hit() { cache_hits_.fetch_add(1); }
@@ -75,6 +76,9 @@ class Telemetry {
 
   /// Folds one completed job's placer counters into the aggregate.
   void record_place_stats(const PlaceStats& stats);
+
+  /// Folds one completed job's scheduler counters into the aggregate.
+  void record_sched_stats(const SchedStats& stats);
 
   void record_synthesis_seconds(double seconds) {
     add(synthesis_seconds_, seconds);
@@ -122,6 +126,12 @@ class Telemetry {
   std::atomic<std::uint64_t> place_delta_evals_{0};
   std::atomic<std::uint64_t> place_full_evals_{0};
   std::atomic<std::uint64_t> place_occupancy_probes_{0};
+  std::atomic<std::uint64_t> sched_ops_scheduled_{0};
+  std::atomic<std::uint64_t> sched_heap_pushes_{0};
+  std::atomic<std::uint64_t> sched_heap_pops_{0};
+  std::atomic<std::uint64_t> sched_binding_probes_{0};
+  std::atomic<std::uint64_t> sched_case1_bindings_{0};
+  std::atomic<std::uint64_t> sched_case2_bindings_{0};
 };
 
 }  // namespace fbmb

@@ -38,6 +38,8 @@
 
 namespace fbmb {
 
+struct SchedStats;  // schedule/scheduler_core.hpp
+
 /// Which binding strategy to apply.
 enum class BindingPolicy {
   kDcsa,      ///< the paper's Case I / Case II strategy
@@ -60,11 +62,14 @@ class SchedulingError : public std::runtime_error {
 };
 
 /// Runs binding & scheduling. Throws SchedulingError on infeasible input;
-/// the graph must be valid (SequencingGraph::validate).
+/// the graph must be valid (SequencingGraph::validate). Implemented on
+/// SchedulerCore (schedule/scheduler_core.hpp); pass `stats` to accumulate
+/// the pass's search-effort counters (never affects the Schedule).
 Schedule schedule_bioassay(const SequencingGraph& graph,
                            const Allocation& allocation,
                            const WashModel& wash_model,
-                           const SchedulerOptions& options = {});
+                           const SchedulerOptions& options = {},
+                           SchedStats* stats = nullptr);
 
 /// One externally-chosen scheduling decision: dequeue `op` next and bind it
 /// to `component`. Used by the exact reference scheduler and by tests that
@@ -86,7 +91,8 @@ Schedule replay_schedule(const SequencingGraph& graph,
                          const Allocation& allocation,
                          const WashModel& wash_model,
                          const SchedulerOptions& options,
-                         const std::vector<ScheduleDecision>& decisions);
+                         const std::vector<ScheduleDecision>& decisions,
+                         SchedStats* stats = nullptr);
 
 /// Postpones transport departures in-place as late as legality allows
 /// (departure <= min(deadline, consume - t_c)), reducing channel-cache time

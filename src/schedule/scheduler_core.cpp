@@ -1,0 +1,444 @@
+#include "schedule/scheduler_core.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <utility>
+
+#include "graph/graph_algorithms.hpp"
+
+namespace fbmb {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+SchedulerCore::SchedulerCore(const SequencingGraph& graph,
+                             const Allocation& allocation,
+                             const WashModel& wash_model,
+                             const SchedulerOptions& options)
+    : graph_(graph),
+      allocation_(allocation),
+      wash_(wash_model),
+      opts_(options) {}
+
+void SchedulerCore::check_feasibility() const {
+  if (auto err = graph_.validate()) {
+    throw SchedulingError("invalid sequencing graph: " + *err);
+  }
+  const auto histogram = operation_type_histogram(graph_);
+  for (ComponentType type : kAllComponentTypes) {
+    const auto idx = static_cast<std::size_t>(type);
+    if (histogram[idx] > 0 && !allocation_.has_type(type)) {
+      throw SchedulingError(
+          std::string("no qualified component allocated for type ") +
+          component_type_name(type));
+    }
+  }
+}
+
+void SchedulerCore::build_flat_state() {
+  const int n = static_cast<int>(graph_.operation_count());
+  const int m = static_cast<int>(allocation_.size());
+
+  // CSR over out-edges in children order; one share slot per edge.
+  edge_begin_.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (int o = 0; o < n; ++o) {
+    edge_begin_[static_cast<std::size_t>(o) + 1] =
+        edge_begin_[static_cast<std::size_t>(o)] +
+        static_cast<int>(graph_.children(OperationId{o}).size());
+  }
+  const int edges = edge_begin_[static_cast<std::size_t>(n)];
+  edge_consumer_.resize(static_cast<std::size_t>(edges));
+  for (int o = 0; o < n; ++o) {
+    int e = edge_begin_[static_cast<std::size_t>(o)];
+    for (OperationId child : graph_.children(OperationId{o})) {
+      edge_consumer_[static_cast<std::size_t>(e++)] = child.value;
+    }
+  }
+
+  // Cross-reference: parent_edge_[parent_begin_[o] + k] is the edge id of
+  // (parents(o)[k] -> o), so share lookups during binding are O(1).
+  parent_begin_.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (int o = 0; o < n; ++o) {
+    parent_begin_[static_cast<std::size_t>(o) + 1] =
+        parent_begin_[static_cast<std::size_t>(o)] +
+        static_cast<int>(graph_.parents(OperationId{o}).size());
+  }
+  parent_edge_.resize(
+      static_cast<std::size_t>(parent_begin_[static_cast<std::size_t>(n)]));
+  for (int o = 0; o < n; ++o) {
+    int slot = parent_begin_[static_cast<std::size_t>(o)];
+    for (OperationId p : graph_.parents(OperationId{o})) {
+      int found = -1;
+      for (int e = edge_begin_[static_cast<std::size_t>(p.value)];
+           e < edge_begin_[static_cast<std::size_t>(p.value) + 1]; ++e) {
+        if (edge_consumer_[static_cast<std::size_t>(e)] == o) {
+          found = e;
+          break;
+        }
+      }
+      assert(found >= 0 && "parent edge missing from children list");
+      parent_edge_[static_cast<std::size_t>(slot++)] = found;
+    }
+  }
+
+  // Per-operation memos: durations, types, and Eq. 2's wash(out(o)) term
+  // (a WashModel map lookup the reference re-does on every touch).
+  op_duration_.resize(static_cast<std::size_t>(n));
+  op_wash_.resize(static_cast<std::size_t>(n));
+  op_diffusion_.resize(static_cast<std::size_t>(n));
+  op_type_.resize(static_cast<std::size_t>(n));
+  for (int o = 0; o < n; ++o) {
+    const Operation& op = graph_.operation(OperationId{o});
+    op_duration_[static_cast<std::size_t>(o)] = op.duration;
+    op_wash_[static_cast<std::size_t>(o)] = wash_.wash_time(op.output);
+    op_diffusion_[static_cast<std::size_t>(o)] =
+        op.output.diffusion_coefficient;
+    op_type_[static_cast<std::size_t>(o)] = op.type;
+  }
+
+  // Qualified components per type, in allocation order (matching
+  // Allocation::components_of_type), built once instead of per operation.
+  for (const Component& c : allocation_.components()) {
+    candidates_[static_cast<std::size_t>(c.type)].push_back(c.id.value);
+  }
+
+  edge_location_.assign(static_cast<std::size_t>(edges),
+                        Location::kComponent);
+  edge_since_.assign(static_cast<std::size_t>(edges), 0.0);
+  edge_deadline_.assign(static_cast<std::size_t>(edges), kInf);
+  op_component_.assign(static_cast<std::size_t>(n), -1);
+  op_end_.assign(static_cast<std::size_t>(n), 0.0);
+  comp_resident_.assign(static_cast<std::size_t>(m), -1);
+  comp_has_residue_.assign(static_cast<std::size_t>(m), 0);
+  comp_vacate_.assign(static_cast<std::size_t>(m), 0.0);
+  comp_ready_.assign(static_cast<std::size_t>(m), 0.0);
+  mark_stamp_.assign(static_cast<std::size_t>(n), -1);
+  mark_edge_.assign(static_cast<std::size_t>(n), -1);
+
+  schedule_.operations.resize(graph_.operation_count());
+  schedule_.transport_time = opts_.transport_time;
+  // At most one transport per edge and one wash per operation; reserving
+  // avoids mid-run growth (the vectors' contents match the reference's).
+  schedule_.transports.reserve(static_cast<std::size_t>(edges));
+  schedule_.component_washes.reserve(static_cast<std::size_t>(n));
+}
+
+void SchedulerCore::push_ready(int op) {
+  // Max-heap over (priority desc, id asc): `below` says a sits under b,
+  // which reproduces the reference std::set's ReadyOrder total order —
+  // keys are unique (ids), so the pop sequence is identical.
+  const auto below = [this](int a, int b) {
+    const double pa = priority_[static_cast<std::size_t>(a)];
+    const double pb = priority_[static_cast<std::size_t>(b)];
+    if (pa != pb) return pa < pb;
+    return a > b;
+  };
+  heap_.push_back(op);
+  std::push_heap(heap_.begin(), heap_.end(), below);
+  ++counters_.heap_pushes;
+}
+
+int SchedulerCore::pop_ready() {
+  const auto below = [this](int a, int b) {
+    const double pa = priority_[static_cast<std::size_t>(a)];
+    const double pb = priority_[static_cast<std::size_t>(b)];
+    if (pa != pb) return pa < pb;
+    return a > b;
+  };
+  std::pop_heap(heap_.begin(), heap_.end(), below);
+  const int op = heap_.back();
+  heap_.pop_back();
+  ++counters_.heap_pops;
+  return op;
+}
+
+Schedule SchedulerCore::run(SchedStats* stats) {
+  check_feasibility();
+  build_flat_state();
+  priority_ = longest_path_to_sink(graph_, opts_.transport_time);
+
+  const int n = static_cast<int>(graph_.operation_count());
+  std::vector<int> unscheduled_parents(static_cast<std::size_t>(n), 0);
+  heap_.reserve(static_cast<std::size_t>(n));
+  for (int o = 0; o < n; ++o) {
+    const int parents = parent_begin_[static_cast<std::size_t>(o) + 1] -
+                        parent_begin_[static_cast<std::size_t>(o)];
+    unscheduled_parents[static_cast<std::size_t>(o)] = parents;
+    if (parents == 0) push_ready(o);
+  }
+
+  while (!heap_.empty()) {
+    const OperationId oid{pop_ready()};
+    schedule_operation(oid, kNoComponent);
+    for (OperationId child : graph_.children(oid)) {
+      if (--unscheduled_parents[static_cast<std::size_t>(child.value)] == 0) {
+        push_ready(child.value);
+      }
+    }
+  }
+
+  schedule_.completion_time = 0.0;
+  for (const auto& so : schedule_.operations) {
+    schedule_.completion_time = std::max(schedule_.completion_time, so.end);
+  }
+  if (opts_.refine_storage) refine_channel_storage(schedule_);
+  if (stats) *stats += counters_;
+  return std::move(schedule_);
+}
+
+Schedule SchedulerCore::run_replay(
+    const std::vector<ScheduleDecision>& decisions, SchedStats* stats) {
+  check_feasibility();
+  build_flat_state();
+
+  std::vector<bool> done(graph_.operation_count(), false);
+  for (const ScheduleDecision& decision : decisions) {
+    const int idx = decision.op.value;
+    if (idx < 0 || idx >= static_cast<int>(graph_.operation_count()) ||
+        done[static_cast<std::size_t>(idx)]) {
+      throw SchedulingError("replay: invalid or repeated operation");
+    }
+    for (OperationId parent : graph_.parents(decision.op)) {
+      if (!done[static_cast<std::size_t>(parent.value)]) {
+        throw SchedulingError("replay: operation decided before parent");
+      }
+    }
+    if (!decision.component.valid() ||
+        static_cast<std::size_t>(decision.component.value) >=
+            allocation_.size() ||
+        allocation_.component(decision.component).type !=
+            graph_.operation(decision.op).type) {
+      throw SchedulingError("replay: non-qualified component");
+    }
+    schedule_operation(decision.op, decision.component);
+    done[static_cast<std::size_t>(idx)] = true;
+  }
+
+  schedule_.completion_time = 0.0;
+  for (std::size_t i = 0; i < done.size(); ++i) {
+    if (done[i]) {
+      schedule_.completion_time =
+          std::max(schedule_.completion_time, schedule_.operations[i].end);
+    }
+  }
+  if (opts_.refine_storage) refine_channel_storage(schedule_);
+  if (stats) *stats += counters_;
+  return std::move(schedule_);
+}
+
+std::pair<double, int> SchedulerCore::availability(int c, int oid) {
+  ++counters_.binding_probes;
+  const int resident = comp_resident_[static_cast<std::size_t>(c)];
+  if (comp_has_residue_[static_cast<std::size_t>(c)] != 0 && resident >= 0 &&
+      mark_stamp_[static_cast<std::size_t>(resident)] == oid) {
+    // The resident fluid is a parent of oid; consumable in place iff its
+    // share is still inside this component.
+    const int e = mark_edge_[static_cast<std::size_t>(resident)];
+    if (edge_location_[static_cast<std::size_t>(e)] == Location::kComponent) {
+      // In-place consumption: available right after the parent ends, no
+      // wash (the residue is an input, not a contaminant).
+      return {op_end_[static_cast<std::size_t>(resident)], resident};
+    }
+  }
+  return {comp_ready_[static_cast<std::size_t>(c)], -1};
+}
+
+void SchedulerCore::schedule_operation(OperationId oid, ComponentId forced) {
+  const int o = oid.value;
+  const auto& parents = graph_.parents(oid);
+  const int pbase = parent_begin_[static_cast<std::size_t>(o)];
+
+  // Stamp the parents so availability() answers membership and share
+  // lookups in O(1) (replacing the reference's std::find + map::find).
+  for (std::size_t k = 0; k < parents.size(); ++k) {
+    const int p = parents[k].value;
+    mark_stamp_[static_cast<std::size_t>(p)] = o;
+    mark_edge_[static_cast<std::size_t>(p)] =
+        parent_edge_[static_cast<std::size_t>(pbase) + k];
+  }
+
+  // --- Binding decision ---------------------------------------------------
+  int comp = -1;
+  int in_place_parent = -1;
+  if (forced.valid()) {
+    comp = forced.value;
+    in_place_parent = availability(comp, o).second;
+  } else {
+    bool case1 = false;
+    if (opts_.policy == BindingPolicy::kDcsa) {
+      // Case I: same-type parents whose output still sits in the component
+      // that produced it (the paper's O_s'); pick the lowest diffusion
+      // coefficient (longest wash avoided), ties by smaller id.
+      const ComponentType type = op_type_[static_cast<std::size_t>(o)];
+      double best_d = kInf;
+      for (OperationId pid : parents) {
+        const int p = pid.value;
+        if (op_type_[static_cast<std::size_t>(p)] != type) continue;
+        const int e = mark_edge_[static_cast<std::size_t>(p)];
+        if (edge_location_[static_cast<std::size_t>(e)] !=
+            Location::kComponent) {
+          continue;
+        }
+        const int pc = op_component_[static_cast<std::size_t>(p)];
+        if (comp_resident_[static_cast<std::size_t>(pc)] != p) continue;
+        case1 = true;
+        const double d = op_diffusion_[static_cast<std::size_t>(p)];
+        if (d < best_d || (d == best_d && p < in_place_parent)) {
+          best_d = d;
+          in_place_parent = p;
+        }
+      }
+      if (case1) {
+        comp = op_component_[static_cast<std::size_t>(in_place_parent)];
+        ++counters_.case1_bindings;
+      }
+    }
+    if (!case1) {
+      // Case II / BA: earliest-ready qualified component, first wins ties
+      // (candidates are in allocation order, like components_of_type).
+      const auto& candidates =
+          candidates_[static_cast<std::size_t>(
+              op_type_[static_cast<std::size_t>(o)])];
+      assert(!candidates.empty());
+      double best_avail = kInf;
+      for (const int c : candidates) {
+        const auto [avail, in_place] = availability(c, o);
+        if (avail < best_avail) {
+          best_avail = avail;
+          comp = c;
+          in_place_parent = in_place;
+        }
+      }
+      ++counters_.case2_bindings;
+    }
+  }
+  assert(comp >= 0);
+
+  // --- Start-time computation ---------------------------------------------
+  double start = in_place_parent >= 0
+                     ? op_end_[static_cast<std::size_t>(in_place_parent)]
+                     : comp_ready_[static_cast<std::size_t>(comp)];
+  for (std::size_t k = 0; k < parents.size(); ++k) {
+    const int p = parents[k].value;
+    if (p == in_place_parent) {
+      start = std::max(start, op_end_[static_cast<std::size_t>(p)]);
+      continue;
+    }
+    const auto e = static_cast<std::size_t>(
+        parent_edge_[static_cast<std::size_t>(pbase) + k]);
+    switch (edge_location_[e]) {
+      case Location::kComponent:
+        start = std::max(start, op_end_[static_cast<std::size_t>(p)] +
+                                    opts_.transport_time);
+        break;
+      case Location::kChannel:
+        start = std::max(start, edge_since_[e] + opts_.transport_time);
+        break;
+      case Location::kConsumed:
+        assert(false && "share consumed before its consumer was scheduled");
+        break;
+    }
+  }
+  const double end = start + op_duration_[static_cast<std::size_t>(o)];
+
+  // --- Clear the chosen component: wash & evictions ------------------------
+  if (comp_has_residue_[static_cast<std::size_t>(comp)] != 0) {
+    const int resident = comp_resident_[static_cast<std::size_t>(comp)];
+    const double resident_end = op_end_[static_cast<std::size_t>(resident)];
+    const bool in_place_here = (resident == in_place_parent);
+    const double wash = op_wash_[static_cast<std::size_t>(resident)];
+    // Evict every share of the resident fluid whose consumer has not been
+    // scheduled yet (except the share we are about to consume in place):
+    // the chamber is needed, so those shares move into channel storage.
+    const double deadline = in_place_here ? start : start - wash;
+    for (int e = edge_begin_[static_cast<std::size_t>(resident)];
+         e < edge_begin_[static_cast<std::size_t>(resident) + 1]; ++e) {
+      const auto ei = static_cast<std::size_t>(e);
+      if (edge_consumer_[ei] == o && in_place_here) continue;
+      if (edge_location_[ei] == Location::kComponent) {
+        edge_location_[ei] = Location::kChannel;
+        edge_since_[ei] = resident_end;
+        edge_deadline_[ei] = std::max(resident_end, deadline);
+        comp_vacate_[static_cast<std::size_t>(comp)] = std::max(
+            comp_vacate_[static_cast<std::size_t>(comp)], resident_end);
+      }
+    }
+    if (!in_place_here) {
+      // Foreign operation: the residue is a contaminant; wash right after
+      // the fluid is fully gone (Eq. 2).
+      const double vacate = comp_vacate_[static_cast<std::size_t>(comp)];
+      schedule_.component_washes.push_back(
+          {ComponentId{comp}, OperationId{resident},
+           graph_.operation(OperationId{resident}).output, vacate,
+           vacate + wash});
+    }
+    comp_has_residue_[static_cast<std::size_t>(comp)] = 0;
+    comp_resident_[static_cast<std::size_t>(comp)] = -1;
+  }
+
+  // --- Transports for the remaining inputs ---------------------------------
+  for (std::size_t k = 0; k < parents.size(); ++k) {
+    const int p = parents[k].value;
+    const auto e = static_cast<std::size_t>(
+        parent_edge_[static_cast<std::size_t>(pbase) + k]);
+    if (p == in_place_parent) {
+      edge_location_[e] = Location::kConsumed;
+      continue;
+    }
+    const double p_end = op_end_[static_cast<std::size_t>(p)];
+    TransportTask task;
+    task.id = static_cast<int>(schedule_.transports.size());
+    task.producer = OperationId{p};
+    task.consumer = oid;
+    task.from = ComponentId{op_component_[static_cast<std::size_t>(p)]};
+    task.to = ComponentId{comp};
+    task.fluid = graph_.operation(OperationId{p}).output;
+    task.transport_time = opts_.transport_time;
+    task.consume = start;
+    if (edge_location_[e] == Location::kChannel) {
+      task.departure = edge_since_[e];
+      task.departure_deadline =
+          std::min(edge_deadline_[e], start - opts_.transport_time);
+      task.evicted = true;
+    } else {
+      // Still in the producer component: leave as late as possible.
+      task.departure = std::max(p_end, start - opts_.transport_time);
+      task.departure_deadline = task.departure;
+      const auto pc =
+          static_cast<std::size_t>(op_component_[static_cast<std::size_t>(p)]);
+      if (comp_resident_[pc] == p) {
+        comp_vacate_[pc] = std::max(comp_vacate_[pc], task.departure);
+        comp_ready_[pc] =
+            comp_vacate_[pc] + op_wash_[static_cast<std::size_t>(p)];
+      }
+    }
+    edge_location_[e] = Location::kConsumed;
+    schedule_.transports.push_back(task);
+  }
+
+  // --- Commit the operation ------------------------------------------------
+  ScheduledOperation so;
+  so.op = oid;
+  so.component = ComponentId{comp};
+  so.start = start;
+  so.end = end;
+  so.in_place_parent = OperationId{in_place_parent};
+  schedule_.at(oid) = so;
+
+  op_component_[static_cast<std::size_t>(o)] = comp;
+  op_end_[static_cast<std::size_t>(o)] = end;
+  // The op's own out-edge shares were initialized to kComponent up front.
+
+  comp_resident_[static_cast<std::size_t>(comp)] = o;
+  comp_has_residue_[static_cast<std::size_t>(comp)] = 1;
+  comp_vacate_[static_cast<std::size_t>(comp)] = end;
+  comp_ready_[static_cast<std::size_t>(comp)] =
+      end + op_wash_[static_cast<std::size_t>(o)];
+  ++counters_.ops_scheduled;
+}
+
+}  // namespace fbmb

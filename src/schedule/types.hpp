@@ -105,4 +105,10 @@ struct Schedule {
   std::string to_string(const SequencingGraph& graph) const;
 };
 
+/// Bit-identical comparison of two schedules: every operation binding and
+/// time, every transport field, every wash window, completion time, and
+/// transport_time must match exactly (==, no tolerance). This is the
+/// equivalence the core-vs-reference oracle tests and benches assert.
+bool identical_schedules(const Schedule& a, const Schedule& b);
+
 }  // namespace fbmb

@@ -158,8 +158,24 @@ TEST(SynthesisEngine, TelemetryJsonContainsPerJobSpans) {
   EXPECT_NE(json.find("\"route\""), std::string::npos);
   EXPECT_NE(json.find("\"cache_hit\""), std::string::npos);
   EXPECT_NE(json.find("\"hits\""), std::string::npos);
+  EXPECT_NE(json.find("\"scheduling\""), std::string::npos);
+  EXPECT_NE(json.find("\"binding_probes\""), std::string::npos);
   // It must parse with our own JSON reader.
   EXPECT_TRUE(jsonio::parse(json).has_value());
+
+  // The scheduler counters aggregate across all (cache-missing) jobs: one
+  // scheduling pass each, so ops_scheduled sums the graph sizes.
+  const auto snapshot = engine.telemetry().snapshot();
+  std::uint64_t total_ops = 0;
+  for (const SynthesisJob& job : jobs) {
+    total_ops += job.graph.operation_count();
+  }
+  EXPECT_EQ(snapshot.scheduling.ops_scheduled, total_ops);
+  EXPECT_EQ(snapshot.scheduling.heap_pops, total_ops);
+  EXPECT_EQ(snapshot.scheduling.case1_bindings +
+                snapshot.scheduling.case2_bindings,
+            total_ops);
+  EXPECT_GT(snapshot.scheduling.binding_probes, 0u);
 }
 
 TEST(SynthesisEngine, StageSpansCoverTheFlow) {

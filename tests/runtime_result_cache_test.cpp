@@ -193,7 +193,57 @@ TEST(ResultCache, SpillRoundTripsFullResultLosslessly) {
             original.place_stats.full_evals);
   EXPECT_EQ(restored->place_stats.occupancy_probes,
             original.place_stats.occupancy_probes);
+  // ... and so do the scheduler's.
+  EXPECT_EQ(original.sched_stats.ops_scheduled,
+            bench.graph.operation_count());
+  EXPECT_EQ(restored->sched_stats.ops_scheduled,
+            original.sched_stats.ops_scheduled);
+  EXPECT_EQ(restored->sched_stats.binding_probes,
+            original.sched_stats.binding_probes);
+  EXPECT_EQ(restored->sched_stats.case1_bindings,
+            original.sched_stats.case1_bindings);
   std::remove(path.c_str());
+}
+
+TEST(ResultIo, SchedStatsRoundTripAndBackwardCompat) {
+  SynthesisResult result = tiny_result(42.0);
+  result.sched_stats.ops_scheduled = 55;
+  result.sched_stats.heap_pushes = 55;
+  result.sched_stats.heap_pops = 55;
+  result.sched_stats.binding_probes = 80;
+  result.sched_stats.case1_bindings = 39;
+  result.sched_stats.case2_bindings = 16;
+
+  const std::string json = synthesis_result_to_json(result);
+  EXPECT_NE(json.find("\"sched_stats\""), std::string::npos);
+  const auto back = synthesis_result_from_json(json);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->sched_stats.ops_scheduled, 55u);
+  EXPECT_EQ(back->sched_stats.heap_pushes, 55u);
+  EXPECT_EQ(back->sched_stats.heap_pops, 55u);
+  EXPECT_EQ(back->sched_stats.binding_probes, 80u);
+  EXPECT_EQ(back->sched_stats.case1_bindings, 39u);
+  EXPECT_EQ(back->sched_stats.case2_bindings, 16u);
+
+  // Spills written before the counters existed have no "sched_stats" key;
+  // they must still load, with the counters defaulting to zero.
+  SynthesisResult plain = tiny_result(7.0);
+  std::string legacy = synthesis_result_to_json(plain);
+  const std::size_t at = legacy.find("\"sched_stats\"");
+  ASSERT_NE(at, std::string::npos);
+  const std::size_t end = legacy.find("}", at);
+  ASSERT_NE(end, std::string::npos);
+  legacy.erase(at, end - at + 3);
+  ASSERT_EQ(legacy.find("sched_stats"), std::string::npos);
+  const auto old = synthesis_result_from_json(legacy);
+  ASSERT_TRUE(old.has_value());
+  EXPECT_EQ(old->completion_time, 7.0);
+  EXPECT_EQ(old->sched_stats.ops_scheduled, 0u);
+  EXPECT_EQ(old->sched_stats.heap_pushes, 0u);
+  EXPECT_EQ(old->sched_stats.heap_pops, 0u);
+  EXPECT_EQ(old->sched_stats.binding_probes, 0u);
+  EXPECT_EQ(old->sched_stats.case1_bindings, 0u);
+  EXPECT_EQ(old->sched_stats.case2_bindings, 0u);
 }
 
 TEST(ResultIo, PlaceStatsRoundTripAndBackwardCompat) {

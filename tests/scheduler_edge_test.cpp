@@ -6,6 +6,7 @@
 #include "bench_suite/synthetic.hpp"
 #include "graph/graph_builder.hpp"
 #include "schedule/list_scheduler.hpp"
+#include "schedule/reference_scheduler.hpp"
 #include "schedule/validator.hpp"
 
 namespace fbmb {
@@ -16,6 +17,21 @@ void expect_valid(const GraphBuilder& b, const AllocationSpec& spec,
   const auto errors =
       validate_schedule(s, b.graph(), Allocation(spec), b.wash_model());
   EXPECT_TRUE(errors.empty()) << (errors.empty() ? "" : errors.front());
+}
+
+/// Asserts SchedulerCore agrees bit-for-bit with the frozen reference on
+/// this input, then returns the (core) schedule for further assertions.
+Schedule schedule_checked(const GraphBuilder& b, const AllocationSpec& spec,
+                          const SchedulerOptions& opts = {}) {
+  const Allocation alloc(spec);
+  const Schedule core =
+      schedule_bioassay(b.graph(), alloc, b.wash_model(), opts);
+  const Schedule ref =
+      schedule_bioassay_reference(b.graph(), alloc, b.wash_model(), opts);
+  EXPECT_TRUE(identical_schedules(core, ref))
+      << "core diverged from reference:\n"
+      << core.to_string(b.graph()) << ref.to_string(b.graph());
+  return core;
 }
 
 TEST(SchedulerEdge, ZeroTransportTime) {
@@ -171,6 +187,69 @@ TEST(SchedulerEdge, SerialChainRunsFullyInPlaceUnderDcsa) {
   EXPECT_TRUE(ours.transports.empty());
   EXPECT_GT(base.completion_time, ours.completion_time);
   EXPECT_FALSE(base.transports.empty());
+}
+
+TEST(SchedulerEdge, CaseOneTieBreakOnEqualDiffusion) {
+  // Two same-type parents with EQUAL diffusion coefficients (equal wash
+  // seconds), each resident in its own mixer when the child is bound:
+  // Case I must tie-break to the smaller operation id, deterministically.
+  GraphBuilder b;
+  const auto p0 = b.mix("p0", 3, 2.0);
+  const auto p1 = b.mix("p1", 3, 2.0);
+  const auto child = b.mix("child", 2, 0.2);
+  b.dep(p0, child);
+  b.dep(p1, child);
+  const auto s = schedule_checked(b, {2, 0, 0, 0});
+  ASSERT_EQ(b.graph().operation(p0).output.diffusion_coefficient,
+            b.graph().operation(p1).output.diffusion_coefficient);
+  // p0 and p1 run concurrently on the two mixers; the child consumes the
+  // lower-id parent's fluid in place and transports the other one.
+  EXPECT_EQ(s.at(child).in_place_parent, p0);
+  EXPECT_EQ(s.at(child).component, s.at(p0).component);
+  ASSERT_EQ(s.transports.size(), 1u);
+  EXPECT_EQ(s.transports[0].producer, p1);
+  expect_valid(b, {2, 0, 0, 0}, s);
+}
+
+TEST(SchedulerEdge, CaseTwoTieBreakOnEqualReadyTime) {
+  // Three equal independent mixes on two mixers: after m0/m1 occupy both
+  // components, m2 sees two candidates with EQUAL t_ready (same end, same
+  // wash) and Case II must keep the first qualified component (allocation
+  // order), not the last probed.
+  GraphBuilder b;
+  const auto m0 = b.mix("m0", 3, 0.5);
+  const auto m1 = b.mix("m1", 3, 0.5);
+  const auto m2 = b.mix("m2", 3, 0.5);
+  (void)m1;
+  const auto s = schedule_checked(b, {2, 0, 0, 0});
+  EXPECT_EQ(s.at(m2).component, s.at(m0).component);  // first component
+  EXPECT_DOUBLE_EQ(s.at(m2).start, 3.5);              // t_ready = 3 + 0.5
+  expect_valid(b, {2, 0, 0, 0}, s);
+}
+
+TEST(SchedulerEdge, OnlyQualifiedComponentBusyPastAllPeers) {
+  // The single detector is held by a long-running detection until well
+  // after every mixer peer has finished; each dependent detection must
+  // wait out the residency AND the wash, not start at fluid arrival.
+  GraphBuilder b;
+  const auto slow = b.detect("slow", 50, 1.0);
+  (void)slow;
+  std::vector<OperationId> detects;
+  for (int i = 0; i < 3; ++i) {
+    const auto m = b.mix("m" + std::to_string(i), 2, 0.2);
+    const auto d = b.detect("d" + std::to_string(i), 1, 0.2);
+    b.dep(m, d);
+    detects.push_back(d);
+  }
+  const auto s = schedule_checked(b, {1, 0, 0, 1});
+  // All mixes end long before the detector frees up at 50 + wash(slow).
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_LE(s.at(OperationId{1 + 2 * i}).end, 10.0);
+  }
+  for (const auto d : detects) {
+    EXPECT_GE(s.at(d).start, 51.0);  // 50 s residency + 1 s wash
+  }
+  expect_valid(b, {1, 0, 0, 1}, s);
 }
 
 }  // namespace
