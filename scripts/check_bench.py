@@ -12,9 +12,16 @@ sched_perf (--json-out) and fails when:
     X (e.g. --geomean BENCH_sched.json=1.5 enforces the scheduler core's
     acceptance threshold).
 
+Also gates the synthesis-service load report written by service_load
+(--json-out) when given via --service FILE: every request must have been
+answered with an expected status, the warm payload must be bit-identical
+to the direct library result, the client-side p99 latency must stay under
+--service-p99 ms, and the overall error rate under --service-error-rate.
+
 Usage:
   scripts/check_bench.py BENCH_route.json BENCH_place.json \
       BENCH_sched.json --min-speedup 1.0 --geomean BENCH_sched.json=1.5
+  scripts/check_bench.py --service BENCH_service.json --service-p99 2000
 """
 
 import argparse
@@ -65,11 +72,66 @@ def check_file(path, min_speedup, geomean_floor):
     return errors, speedups, geomean
 
 
+def check_service(path, p99_ceiling_ms, error_rate_ceiling):
+    errors = []
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    service = doc.get("service")
+    if not isinstance(service, dict):
+        raise ValueError(f"{path}: no 'service' object")
+
+    total = service.get("total", 0)
+    if not isinstance(total, int) or total <= 0:
+        errors.append(f"{path}: no requests were recorded")
+    unanswered = service.get("unanswered")
+    if unanswered != 0:
+        errors.append(
+            f"{path}: {unanswered!r} request(s) were dropped without a "
+            "definite HTTP status"
+        )
+    unexpected = service.get("unexpected_status")
+    if unexpected != 0:
+        errors.append(
+            f"{path}: {unexpected!r} request(s) got a status outside "
+            "their traffic class's expected set"
+        )
+    if service.get("identical") is not True:
+        errors.append(
+            f"{path}: served warm payload is not bit-identical to the "
+            f"direct library result (identical="
+            f"{service.get('identical')!r})"
+        )
+    p99 = service.get("latency_ms", {}).get("p99")
+    if not isinstance(p99, (int, float)):
+        errors.append(f"{path}: missing latency_ms.p99")
+    elif p99 > p99_ceiling_ms:
+        errors.append(
+            f"{path}: p99 latency {p99:.1f} ms exceeds the "
+            f"{p99_ceiling_ms:.0f} ms ceiling"
+        )
+    error_rate = service.get("error_rate")
+    if not isinstance(error_rate, (int, float)):
+        errors.append(f"{path}: missing error_rate")
+    elif error_rate > error_rate_ceiling:
+        errors.append(
+            f"{path}: error rate {error_rate:.4f} exceeds the "
+            f"{error_rate_ceiling:.4f} ceiling"
+        )
+    summary = (
+        f"{path}: {total} requests, unanswered={unanswered}, "
+        f"unexpected={unexpected}, p99={p99} ms, error_rate={error_rate}"
+    )
+    print(summary)
+    return errors
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(
         description="Fail when a core-vs-reference bench regresses."
     )
-    parser.add_argument("files", nargs="+", help="BENCH_*.json files")
+    parser.add_argument(
+        "files", nargs="*", default=[], help="BENCH_*.json perf files"
+    )
     parser.add_argument(
         "--min-speedup",
         type=float,
@@ -84,7 +146,28 @@ def main(argv=None):
         help="geomean speedup floor for one file, by basename "
         "(e.g. BENCH_sched.json=1.5); repeatable",
     )
+    parser.add_argument(
+        "--service",
+        action="append",
+        default=[],
+        metavar="FILE",
+        help="BENCH_service.json load report(s) to gate; repeatable",
+    )
+    parser.add_argument(
+        "--service-p99",
+        type=float,
+        default=5000.0,
+        help="service p99 latency ceiling in ms (default: 5000)",
+    )
+    parser.add_argument(
+        "--service-error-rate",
+        type=float,
+        default=0.0,
+        help="service error-rate ceiling (default: 0.0)",
+    )
     args = parser.parse_args(argv)
+    if not args.files and not args.service:
+        parser.error("nothing to check: give perf files and/or --service")
 
     geomean_floors = {}
     for spec in args.geomean:
@@ -113,6 +196,16 @@ def main(argv=None):
         if floor is not None:
             summary += f" (floor {floor:.2f}x)"
         print(summary)
+
+    for path in args.service:
+        try:
+            all_errors.extend(
+                check_service(
+                    path, args.service_p99, args.service_error_rate
+                )
+            )
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            all_errors.append(f"{path}: {exc}")
 
     if all_errors:
         print(f"\n{len(all_errors)} regression(s):", file=sys.stderr)

@@ -28,18 +28,17 @@ double seconds_since(Clock::time_point t0) {
 /// consistent (schedule, routing) pair emerges. Delays only ever push
 /// events later, so the loop converges; a generous round cap guards
 /// pathological cases (the final retiming is still applied then).
-RoutingResult route_until_consistent(Schedule& schedule,
-                                     const SequencingGraph& graph,
-                                     const Allocation& allocation,
-                                     const ChipSpec& chip,
-                                     const Placement& placement,
-                                     const WashModel& wash_model,
-                                     const RouterOptions& router_options,
-                                     StageTimes& stages) {
+RoutingResult route_until_consistent(
+    Schedule& schedule, const SequencingGraph& graph,
+    const Allocation& allocation, const ChipSpec& chip,
+    const Placement& placement, const WashModel& wash_model,
+    const RouterOptions& router_options, StageTimes& stages,
+    const std::function<void(const char*)>& checkpoint) {
   constexpr int kMaxRounds = 20;
   int postponements = 0;
   RouteStats stats_total;
   for (int round = 0;; ++round) {
+    if (checkpoint) checkpoint("route");
     const auto route_start = Clock::now();
     RoutingGrid grid(chip, allocation, placement);
     RoutingResult routing =
@@ -106,6 +105,8 @@ SynthesisResult synthesize_custom(const SequencingGraph& graph,
                                   const SynthesisOptions& options) {
   const auto t0 = Clock::now();
   StageTimes stages;
+  const std::function<void(const char*)>& checkpoint = options.checkpoint;
+  if (checkpoint) checkpoint("schedule");
 
   // Schedule with refinement split out so the two stages are timed
   // separately; schedule_bioassay's refine_storage path runs the identical
@@ -119,10 +120,12 @@ SynthesisResult synthesize_custom(const SequencingGraph& graph,
                                         scheduler_options, &sched_stats);
   stages.schedule = seconds_since(schedule_start);
   if (options.scheduler.refine_storage) {
+    if (checkpoint) checkpoint("refine");
     const auto refine_start = Clock::now();
     refine_channel_storage(schedule);
     stages.refine = seconds_since(refine_start);
   }
+  if (checkpoint) checkpoint("place");
 
   const ChipSpec chip = derive_grid(
       options.chip,
@@ -133,9 +136,9 @@ SynthesisResult synthesize_custom(const SequencingGraph& graph,
     Placement placement = place_components_baseline(
         allocation, schedule, chip, options.baseline_placer);
     stages.place = seconds_since(place_start);
-    RoutingResult routing =
-        route_until_consistent(schedule, graph, allocation, chip, placement,
-                               wash_model, options.router, stages);
+    RoutingResult routing = route_until_consistent(
+        schedule, graph, allocation, chip, placement, wash_model,
+        options.router, stages, checkpoint);
     SynthesisResult result =
         finish(allocation, std::move(schedule), std::move(placement),
                std::move(routing), chip, t0);
@@ -158,9 +161,9 @@ SynthesisResult synthesize_custom(const SequencingGraph& graph,
   bool have_best = false;
   for (Placement& placement : candidates) {
     Schedule trial_schedule = schedule;
-    RoutingResult routing =
-        route_until_consistent(trial_schedule, graph, allocation, chip,
-                               placement, wash_model, options.router, stages);
+    RoutingResult routing = route_until_consistent(
+        trial_schedule, graph, allocation, chip, placement, wash_model,
+        options.router, stages, checkpoint);
     SynthesisResult result =
         finish(allocation, std::move(trial_schedule), std::move(placement),
                std::move(routing), chip, t0);

@@ -12,6 +12,7 @@
 
 #pragma once
 
+#include <functional>
 #include <string>
 
 #include "biochip/chip_spec.hpp"
@@ -43,6 +44,12 @@ struct SynthesisOptions {
   ConstructivePlacerOptions baseline_placer;
   RouterOptions router;
   PlacementStrategy placement = PlacementStrategy::kSimulatedAnnealing;
+  /// Invoked at every stage boundary (and before each routing round) with
+  /// the name of the stage about to run. A deadline/cancellation hook for
+  /// services: throwing (e.g. SynthesisCancelled) aborts the flow cleanly
+  /// between stages. Execution policy — not part of the input fingerprint,
+  /// cannot change the result of a flow that runs to completion.
+  std::function<void(const char* stage)> checkpoint;
 };
 
 /// Wall time spent in each stage of one synthesis flow, in seconds. Filled

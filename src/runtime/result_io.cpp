@@ -64,8 +64,16 @@ class Parser {
     skip_ws();
     if (pos_ >= text_.size()) return std::nullopt;
     const char c = text_[pos_];
-    if (c == '{') return object();
-    if (c == '[') return array();
+    if (c == '{' || c == '[') {
+      // Bound the recursion so hostile input ("[[[[[..." from a network
+      // peer or a corrupted spill) fails cleanly instead of overflowing
+      // the stack.
+      if (depth_ >= kMaxDepth) return std::nullopt;
+      ++depth_;
+      std::optional<Value> v = c == '{' ? object() : array();
+      --depth_;
+      return v;
+    }
     if (c == '"') return string_value();
     if (c == 't') {
       if (!literal("true")) return std::nullopt;
@@ -146,8 +154,12 @@ class Parser {
         case 'f': out += '\f'; break;
         case 'u': {
           if (pos_ + 4 > text_.size()) return std::nullopt;
-          const unsigned long code =
-              std::strtoul(text_.substr(pos_, 4).c_str(), nullptr, 16);
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const int digit = hex_digit(text_[pos_ + i]);
+            if (digit < 0) return std::nullopt;  // strict: 4 hex digits
+            code = code * 16 + static_cast<unsigned>(digit);
+          }
           pos_ += 4;
           // Our writers only escape control characters; emit as a byte.
           out += static_cast<char>(code & 0xFF);
@@ -168,11 +180,34 @@ class Parser {
     return v;
   }
 
+  static int hex_digit(char c) {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+  }
+
   std::optional<Value> number() {
+    // strtod alone accepts non-JSON spellings ("inf", "nan", hex floats,
+    // leading '+'); require a JSON-shaped start so untrusted bytes fail
+    // predictably.
+    const char first = text_[pos_];
+    if (first != '-' && (first < '0' || first > '9')) return std::nullopt;
+    if (first == '-' && (pos_ + 1 >= text_.size() || text_[pos_ + 1] < '0' ||
+                         text_[pos_ + 1] > '9')) {
+      return std::nullopt;
+    }
     const char* begin = text_.c_str() + pos_;
     char* end = nullptr;
     const double parsed = std::strtod(begin, &end);
     if (end == begin) return std::nullopt;
+    for (const char* p = begin; p != end; ++p) {
+      const char c = *p;
+      const bool json_number_char = (c >= '0' && c <= '9') || c == '.' ||
+                                    c == 'e' || c == 'E' || c == '+' ||
+                                    c == '-';
+      if (!json_number_char) return std::nullopt;  // hex floats etc.
+    }
     pos_ += static_cast<std::size_t>(end - begin);
     Value v;
     v.kind = Value::Kind::kNumber;
@@ -180,8 +215,11 @@ class Parser {
     return v;
   }
 
+  static constexpr int kMaxDepth = 96;
+
   const std::string& text_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

@@ -7,7 +7,11 @@
 // strings, numbers, booleans, null) — enough for documents this module and
 // the report layer emit; it is not a general-purpose validating parser. It
 // is exposed (namespace jsonio) so the result cache can parse its spill
-// envelope with the same machinery.
+// envelope and the service layer can parse request bodies with the same
+// machinery. Because those bytes are untrusted, the parser is hardened to
+// fail cleanly (nullopt, never a crash or deep throw): nesting is capped
+// (96 levels), \u escapes require exactly four hex digits, and numbers
+// must be JSON-shaped (no inf/nan/hex-float spellings).
 
 #pragma once
 

@@ -80,6 +80,14 @@ JobOutcome SynthesisEngine::execute(const SynthesisJob& job) {
   telemetry_.record_cache_miss();
 
   SynthesisOptions options = job.options;
+  if (job.cancel) {
+    // Thread the token through the flow's stage boundaries: a fired token
+    // aborts the flow with SynthesisCancelled at the next checkpoint.
+    std::shared_ptr<CancellationToken> token = job.cancel;
+    options.checkpoint = [token](const char* stage) {
+      token->throw_if_cancelled(stage);
+    };
+  }
   if (options_.parallel_restarts) {
     // Restart tasks fork deterministic sub-seeds and fill indexed slots,
     // so fanning them out over the shared pool is bit-identical to the
@@ -92,6 +100,9 @@ JobOutcome SynthesisEngine::execute(const SynthesisJob& job) {
   }
 
   try {
+    // A job whose deadline already passed while queued never starts a
+    // stage at all.
+    if (job.cancel) job.cancel->throw_if_cancelled("queued");
     switch (job.flow) {
       case FlowPreset::kDcsa:
         outcome.result =
@@ -106,6 +117,12 @@ JobOutcome SynthesisEngine::execute(const SynthesisJob& job) {
             synthesize_custom(job.graph, job.allocation, job.wash, options);
         break;
     }
+  } catch (const SynthesisCancelled&) {
+    // Cancelled is an outcome, not a failure: count it separately so a
+    // draining server's jobs do not read as errors.
+    telemetry_.job_cancelled();
+    telemetry_.job_finished();
+    throw;
   } catch (...) {
     telemetry_.job_finished();
     throw;

@@ -15,10 +15,12 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/synthesis.hpp"
+#include "runtime/cancellation.hpp"
 #include "runtime/fingerprint.hpp"
 #include "runtime/result_cache.hpp"
 #include "runtime/telemetry.hpp"
@@ -36,6 +38,11 @@ struct SynthesisJob {
   WashModel wash;
   SynthesisOptions options;
   FlowPreset flow = FlowPreset::kDcsa;
+  /// Optional cooperative cancellation: when set, the engine checks the
+  /// token between synthesis stages and the job fails with
+  /// SynthesisCancelled once it fires (deadline or explicit cancel).
+  /// Null = never cancelled. Execution policy — not fingerprinted.
+  std::shared_ptr<CancellationToken> cancel;
 };
 
 /// A finished job, in submission order.
@@ -73,7 +80,11 @@ class SynthesisEngine {
   ResultCache& cache() { return cache_; }
   const ResultCache& cache() const { return cache_; }
   Telemetry& telemetry() { return telemetry_; }
+  const Telemetry& telemetry() const { return telemetry_; }
   const ThreadPool& pool() const { return pool_; }
+  /// Mutable pool access for callers layering their own admission control
+  /// on top (ThreadPool::try_submit + run_job; see src/service).
+  ThreadPool& pool() { return pool_; }
 
   /// Full batch report: engine configuration, aggregate telemetry
   /// snapshot, and a per-job array with stage walls and cache flags.

@@ -68,6 +68,7 @@ Telemetry::Snapshot Telemetry::snapshot() const {
   s.cache_misses = cache_misses_.load();
   s.jobs_submitted = jobs_submitted_.load();
   s.jobs_completed = jobs_completed_.load();
+  s.jobs_cancelled = jobs_cancelled_.load();
   s.jobs_in_flight = jobs_in_flight_.load();
   s.max_queue_depth = max_queue_depth_.load();
   s.routing.tasks_routed = route_tasks_routed_.load();
@@ -101,6 +102,7 @@ void Telemetry::reset() {
   cache_misses_.store(0);
   jobs_submitted_.store(0);
   jobs_completed_.store(0);
+  jobs_cancelled_.store(0);
   jobs_in_flight_.store(0);
   max_queue_depth_.store(0);
   route_tasks_routed_.store(0);
@@ -134,6 +136,7 @@ std::string Telemetry::to_json(const Snapshot& s) {
      << ", \"misses\": " << s.cache_misses
      << "}, \"jobs\": {\"submitted\": " << s.jobs_submitted
      << ", \"completed\": " << s.jobs_completed
+     << ", \"cancelled\": " << s.jobs_cancelled
      << ", \"in_flight\": " << s.jobs_in_flight
      << "}, \"routing\": {\"tasks_routed\": " << s.routing.tasks_routed
      << ", \"nodes_expanded\": " << s.routing.nodes_expanded

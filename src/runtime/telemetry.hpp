@@ -50,6 +50,7 @@ class Telemetry {
     std::uint64_t cache_misses = 0;
     std::uint64_t jobs_submitted = 0;
     std::uint64_t jobs_completed = 0;
+    std::uint64_t jobs_cancelled = 0;  ///< finished via SynthesisCancelled
     std::uint64_t jobs_in_flight = 0;
     std::uint64_t max_queue_depth = 0;
     double synthesis_seconds = 0.0;  ///< summed job wall time (cache misses)
@@ -63,6 +64,9 @@ class Telemetry {
 
   void job_submitted() { jobs_submitted_.fetch_add(1); }
   void job_started() { jobs_in_flight_.fetch_add(1); }
+  /// A job that stopped with SynthesisCancelled (deadline / drain /
+  /// client disconnect) — counted in addition to job_finished().
+  void job_cancelled() { jobs_cancelled_.fetch_add(1); }
   void job_finished() {
     jobs_in_flight_.fetch_sub(1);
     jobs_completed_.fetch_add(1);
@@ -113,6 +117,7 @@ class Telemetry {
   std::atomic<std::uint64_t> cache_misses_{0};
   std::atomic<std::uint64_t> jobs_submitted_{0};
   std::atomic<std::uint64_t> jobs_completed_{0};
+  std::atomic<std::uint64_t> jobs_cancelled_{0};
   std::atomic<std::uint64_t> jobs_in_flight_{0};
   std::atomic<std::uint64_t> max_queue_depth_{0};
   std::atomic<std::uint64_t> route_tasks_routed_{0};

@@ -25,6 +25,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <type_traits>
 #include <vector>
@@ -54,6 +55,24 @@ class ThreadPool {
         std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
     std::future<R> future = task->get_future();
     enqueue([task] { (*task)(); });
+    return future;
+  }
+
+  /// Non-blocking submit: schedules `fn` and returns its future, or
+  /// nullopt — without running anything — when the queue is full or the
+  /// pool is stopping. Unlike submit(), a rejected task is never run
+  /// inline and a full queue never blocks, so callers can fail fast
+  /// (admission control: answer 429 instead of queueing unboundedly).
+  /// Rejection has no side effects; the caller may retry later or fall
+  /// back to submit(). Blocking submit() semantics are unchanged.
+  template <typename F>
+  auto try_submit(F&& fn)
+      -> std::optional<std::future<std::invoke_result_t<std::decay_t<F>>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    if (!try_submit_detached([task] { (*task)(); })) return std::nullopt;
     return future;
   }
 

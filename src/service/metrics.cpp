@@ -1,0 +1,121 @@
+#include "service/metrics.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace fbmb::service {
+
+namespace {
+
+constexpr double kFirstBoundMs = 0.1;
+constexpr double kGrowth = 1.6;
+
+std::string number(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+double LatencyHistogram::bucket_bound_ms(int index) {
+  return kFirstBoundMs * std::pow(kGrowth, index);
+}
+
+void LatencyHistogram::record(double seconds) {
+  if (seconds < 0.0) seconds = 0.0;
+  const double ms = seconds * 1e3;
+  int bucket = 0;
+  while (bucket < kBuckets - 1 && ms > bucket_bound_ms(bucket)) ++bucket;
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  const auto ns = static_cast<std::uint64_t>(seconds * 1e9);
+  sum_ns_.fetch_add(ns, std::memory_order_relaxed);
+  std::uint64_t seen = max_ns_.load(std::memory_order_relaxed);
+  while (ns > seen &&
+         !max_ns_.compare_exchange_weak(seen, ns,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+LatencyHistogram::Snapshot LatencyHistogram::snapshot() const {
+  Snapshot snap;
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum_seconds =
+      static_cast<double>(sum_ns_.load(std::memory_order_relaxed)) * 1e-9;
+  snap.max_seconds =
+      static_cast<double>(max_ns_.load(std::memory_order_relaxed)) * 1e-9;
+  for (int i = 0; i < kBuckets; ++i) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+double LatencyHistogram::percentile_ms(const Snapshot& snap, double p) {
+  if (snap.count == 0) return 0.0;
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(snap.count)));
+  std::uint64_t cumulative = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    cumulative += snap.buckets[i];
+    if (cumulative >= rank) {
+      // The top bucket is open-ended; report the exact max instead.
+      if (i == kBuckets - 1) return snap.max_seconds * 1e3;
+      return bucket_bound_ms(i);
+    }
+  }
+  return snap.max_seconds * 1e3;
+}
+
+std::string LatencyHistogram::to_json(const Snapshot& snap) {
+  std::ostringstream os;
+  const double mean_ms =
+      snap.count == 0
+          ? 0.0
+          : snap.sum_seconds * 1e3 / static_cast<double>(snap.count);
+  os << "{\"count\": " << snap.count << ", \"mean_ms\": " << number(mean_ms)
+     << ", \"p50_ms\": " << number(percentile_ms(snap, 50.0))
+     << ", \"p90_ms\": " << number(percentile_ms(snap, 90.0))
+     << ", \"p99_ms\": " << number(percentile_ms(snap, 99.0))
+     << ", \"max_ms\": " << number(snap.max_seconds * 1e3) << "}";
+  return os.str();
+}
+
+void ServiceMetrics::count_response(int status) {
+  switch (status) {
+    case 200: responses_ok.fetch_add(1); break;
+    case 400: responses_bad_request.fetch_add(1); break;
+    case 404:
+    case 405: responses_not_found.fetch_add(1); break;
+    case 413: responses_too_large.fetch_add(1); break;
+    case 429: responses_rejected.fetch_add(1); break;
+    case 503: responses_cancelled.fetch_add(1); break;
+    case 504: responses_timed_out.fetch_add(1); break;
+    default: responses_error.fetch_add(1); break;
+  }
+}
+
+std::string ServiceMetrics::to_json(std::uint64_t queue_depth,
+                                    bool draining) const {
+  std::ostringstream os;
+  os << "{\"connections\": {\"accepted\": " << connections_accepted.load()
+     << ", \"rejected\": " << connections_rejected.load()
+     << "}, \"requests\": {\"received\": " << requests_received.load()
+     << ", \"in_flight\": " << requests_in_flight.load()
+     << ", \"queue_depth\": " << queue_depth
+     << "}, \"responses\": {\"ok\": " << responses_ok.load()
+     << ", \"bad_request\": " << responses_bad_request.load()
+     << ", \"not_found\": " << responses_not_found.load()
+     << ", \"too_large\": " << responses_too_large.load()
+     << ", \"rejected\": " << responses_rejected.load()
+     << ", \"error\": " << responses_error.load()
+     << ", \"cancelled\": " << responses_cancelled.load()
+     << ", \"timed_out\": " << responses_timed_out.load()
+     << "}, \"latency\": "
+     << LatencyHistogram::to_json(synthesize_latency.snapshot())
+     << ", \"draining\": " << (draining ? "true" : "false") << "}";
+  return os.str();
+}
+
+}  // namespace fbmb::service

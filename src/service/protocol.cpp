@@ -1,0 +1,196 @@
+#include "service/protocol.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "bench_suite/benchmarks.hpp"
+#include "graph/assay_parser.hpp"
+#include "report/json.hpp"
+#include "runtime/result_io.hpp"
+
+namespace fbmb::service {
+
+namespace {
+
+std::string lowercase(std::string s) {
+  for (char& c : s) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return s;
+}
+
+/// Named-benchmark lookup over the extended suite (the Table-I seven plus
+/// the extra real-life assays) and the worked paper example.
+std::optional<Benchmark> find_benchmark(const std::string& name) {
+  const std::string want = lowercase(name);
+  for (Benchmark& bench : extended_benchmarks()) {
+    if (lowercase(bench.name) == want) return std::move(bench);
+  }
+  if (Benchmark example = make_paper_example();
+      lowercase(example.name) == want || want == "paper_example") {
+    return example;
+  }
+  return std::nullopt;
+}
+
+/// Reads an optional finite number member; false only on a type error.
+bool read_number(const jsonio::Value& root, const char* key, double& out,
+                 bool& present, std::string& error) {
+  present = false;
+  const jsonio::Value* v = root.find(key);
+  if (v == nullptr) return true;
+  if (v->kind != jsonio::Value::Kind::kNumber || !std::isfinite(v->num)) {
+    error = std::string("\"") + key + "\" must be a finite number";
+    return false;
+  }
+  out = v->num;
+  present = true;
+  return true;
+}
+
+}  // namespace
+
+std::optional<SynthesizeRequest> parse_synthesize_request(
+    const std::string& body, std::string& error) {
+  const std::optional<jsonio::Value> root = jsonio::parse(body);
+  if (!root || root->kind != jsonio::Value::Kind::kObject) {
+    error = "body is not a JSON object";
+    return std::nullopt;
+  }
+
+  SynthesizeRequest req;
+  const jsonio::Value* benchmark = root->find("benchmark");
+  const jsonio::Value* assay = root->find("assay");
+  if ((benchmark != nullptr) == (assay != nullptr)) {
+    error = "exactly one of \"benchmark\" or \"assay\" is required";
+    return std::nullopt;
+  }
+  if (benchmark != nullptr) {
+    if (benchmark->kind != jsonio::Value::Kind::kString) {
+      error = "\"benchmark\" must be a string";
+      return std::nullopt;
+    }
+    std::optional<Benchmark> found = find_benchmark(benchmark->str);
+    if (!found) {
+      error = "unknown benchmark \"" + benchmark->str + "\"";
+      return std::nullopt;
+    }
+    req.job.name = found->name;
+    req.job.graph = std::move(found->graph);
+    req.job.allocation = Allocation(found->allocation);
+    req.job.wash = std::move(found->wash);
+  } else {
+    if (assay->kind != jsonio::Value::Kind::kString) {
+      error = "\"assay\" must be a string";
+      return std::nullopt;
+    }
+    try {
+      ParsedAssay parsed = parse_assay(assay->str);
+      if (!parsed.has_allocation) {
+        error = "assay text must contain an allocate line";
+        return std::nullopt;
+      }
+      req.job.name = "assay";
+      req.job.graph = std::move(parsed.graph);
+      req.job.allocation = Allocation(parsed.allocation);
+      req.job.wash = std::move(parsed.wash);
+    } catch (const AssayParseError& e) {
+      error = std::string("assay: ") + e.what();
+      return std::nullopt;
+    }
+  }
+
+  if (const jsonio::Value* name = root->find("name"); name != nullptr) {
+    if (name->kind != jsonio::Value::Kind::kString) {
+      error = "\"name\" must be a string";
+      return std::nullopt;
+    }
+    req.job.name = name->str;
+  }
+
+  req.job.flow = FlowPreset::kDcsa;
+  if (const jsonio::Value* flow = root->find("flow"); flow != nullptr) {
+    if (flow->kind != jsonio::Value::Kind::kString) {
+      error = "\"flow\" must be a string";
+      return std::nullopt;
+    }
+    const std::string which = lowercase(flow->str);
+    if (which == "dcsa") {
+      req.job.flow = FlowPreset::kDcsa;
+    } else if (which == "baseline") {
+      req.job.flow = FlowPreset::kBaseline;
+    } else if (which == "custom") {
+      req.job.flow = FlowPreset::kCustom;
+    } else {
+      error = "\"flow\" must be dcsa, baseline or custom";
+      return std::nullopt;
+    }
+  }
+
+  double value = 0.0;
+  bool present = false;
+  if (!read_number(*root, "seed", value, present, error)) return std::nullopt;
+  if (present) {
+    if (value < 0.0) {
+      error = "\"seed\" must be non-negative";
+      return std::nullopt;
+    }
+    req.job.options.placer.seed = static_cast<std::uint64_t>(value);
+  }
+  if (!read_number(*root, "restarts", value, present, error)) {
+    return std::nullopt;
+  }
+  if (present) {
+    if (value < 1.0 || value > 64.0) {
+      error = "\"restarts\" must be in [1, 64]";
+      return std::nullopt;
+    }
+    req.job.options.placer.restarts = static_cast<int>(value);
+  }
+  if (!read_number(*root, "timeout_ms", value, present, error)) {
+    return std::nullopt;
+  }
+  if (present) {
+    if (value < 0.0) {
+      error = "\"timeout_ms\" must be non-negative";
+      return std::nullopt;
+    }
+    req.timeout_ms = value;
+  }
+  if (!read_number(*root, "stall_ms", value, present, error)) {
+    return std::nullopt;
+  }
+  if (present) {
+    if (value < 0.0 || value > 60000.0) {
+      error = "\"stall_ms\" must be in [0, 60000]";
+      return std::nullopt;
+    }
+    req.stall_ms = static_cast<int>(value);
+  }
+  return req;
+}
+
+std::string error_body(const std::string& message,
+                       const std::string& stage) {
+  std::ostringstream os;
+  os << "{\"error\": " << json_quote(message);
+  if (!stage.empty()) os << ", \"stage\": " << json_quote(stage);
+  os << "}";
+  return os.str();
+}
+
+std::string synthesize_body(const JobOutcome& outcome) {
+  char wall[48];
+  std::snprintf(wall, sizeof(wall), "%.9g", outcome.wall_seconds);
+  std::ostringstream os;
+  os << "{\"name\": " << json_quote(outcome.name) << ", \"fingerprint\": \""
+     << outcome.fingerprint.to_hex()
+     << "\", \"cache_hit\": " << (outcome.cache_hit ? "true" : "false")
+     << ", \"wall_seconds\": " << wall
+     << ", \"result\": " << synthesis_result_to_json(outcome.result) << "}";
+  return os.str();
+}
+
+}  // namespace fbmb::service

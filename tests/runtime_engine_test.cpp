@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <memory>
 #include <vector>
 
 #include "bench_suite/benchmarks.hpp"
@@ -193,6 +195,97 @@ TEST(SynthesisEngine, StageSpansCoverTheFlow) {
   EXPECT_GT(st.route, 0.0);
   EXPECT_GT(st.total(), 0.0);
   EXPECT_LE(st.total(), outcome.result.cpu_seconds + 1e-6);
+}
+
+
+TEST(SynthesisEngine, PreCancelledJobThrowsAndIsCountedCancelled) {
+  const auto bench = make_pcr();
+  SynthesisJob job;
+  job.name = bench.name;
+  job.graph = bench.graph;
+  job.allocation = Allocation(bench.allocation);
+  job.wash = bench.wash;
+  job.cancel = std::make_shared<CancellationToken>();
+  job.cancel->cancel();
+
+  SynthesisEngine engine;
+  try {
+    engine.run_job(job);
+    FAIL() << "expected SynthesisCancelled";
+  } catch (const SynthesisCancelled& e) {
+    EXPECT_EQ(e.reason(), SynthesisCancelled::Reason::kCancelled);
+    EXPECT_EQ(e.stage(), "queued");
+  }
+  const Telemetry::Snapshot snap = engine.telemetry().snapshot();
+  // Cancelled is an orderly finish, not a crash: the in-flight gauge is
+  // back to zero and the cancellation is counted separately.
+  EXPECT_EQ(snap.jobs_cancelled, 1u);
+  EXPECT_EQ(snap.jobs_in_flight, 0u);
+  EXPECT_EQ(snap.jobs_submitted, 1u);
+}
+
+TEST(SynthesisEngine, ExpiredDeadlineReportsDeadlineReason) {
+  const auto bench = make_pcr();
+  SynthesisJob job;
+  job.name = bench.name;
+  job.graph = bench.graph;
+  job.allocation = Allocation(bench.allocation);
+  job.wash = bench.wash;
+  job.cancel = std::make_shared<CancellationToken>();
+  job.cancel->set_timeout(std::chrono::nanoseconds(0));
+
+  SynthesisEngine engine;
+  try {
+    engine.run_job(job);
+    FAIL() << "expected SynthesisCancelled";
+  } catch (const SynthesisCancelled& e) {
+    // Deadline wins over explicit cancel so callers can answer 504.
+    EXPECT_EQ(e.reason(), SynthesisCancelled::Reason::kDeadline);
+  }
+}
+
+TEST(SynthesisEngine, CancelledJobIsNeverCached) {
+  const auto bench = make_pcr();
+  SynthesisJob job;
+  job.name = bench.name;
+  job.graph = bench.graph;
+  job.allocation = Allocation(bench.allocation);
+  job.wash = bench.wash;
+  job.cancel = std::make_shared<CancellationToken>();
+  job.cancel->cancel();
+
+  SynthesisEngine engine;
+  EXPECT_THROW(engine.run_job(job), SynthesisCancelled);
+  EXPECT_EQ(engine.cache().size(), 0u);
+
+  // The same job with the token cleared runs fine and gets cached.
+  job.cancel = nullptr;
+  const JobOutcome outcome = engine.run_job(job);
+  EXPECT_FALSE(outcome.cache_hit);
+  EXPECT_EQ(engine.cache().size(), 1u);
+}
+
+TEST(SynthesisEngine, TokenIsExecutionPolicyNotIdentity) {
+  // An armed-but-unfired token must not change the fingerprint: the
+  // second run (no token) hits the cache entry the first one wrote.
+  const auto bench = make_pcr();
+  SynthesisJob with_token;
+  with_token.name = bench.name;
+  with_token.graph = bench.graph;
+  with_token.allocation = Allocation(bench.allocation);
+  with_token.wash = bench.wash;
+  with_token.cancel = std::make_shared<CancellationToken>();
+  with_token.cancel->set_timeout(std::chrono::minutes(10));
+
+  SynthesisJob without_token = with_token;
+  without_token.cancel = nullptr;
+
+  SynthesisEngine engine;
+  const JobOutcome first = engine.run_job(with_token);
+  const JobOutcome second = engine.run_job(without_token);
+  EXPECT_FALSE(first.cache_hit);
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(first.fingerprint.to_hex(), second.fingerprint.to_hex());
 }
 
 }  // namespace

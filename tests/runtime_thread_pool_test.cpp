@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <memory>
+#include <optional>
+#include <thread>
 #include <numeric>
 #include <stdexcept>
 #include <vector>
@@ -133,6 +136,87 @@ TEST(ThreadPool, ParallelInvokeNestedInsidePoolJobs) {
     }));
   }
   for (auto& job : jobs) EXPECT_EQ(job.get(), 36L);
+}
+
+
+TEST(ThreadPool, TrySubmitReturnsWorkingFuture) {
+  ThreadPool pool(2);
+  auto future = pool.try_submit([] { return 6 * 7; });
+  ASSERT_TRUE(future.has_value());
+  EXPECT_EQ(future->get(), 42);
+
+  auto boom = pool.try_submit(
+      []() -> int { throw std::runtime_error("job failed"); });
+  ASSERT_TRUE(boom.has_value());
+  EXPECT_THROW(boom->get(), std::runtime_error);
+}
+
+TEST(ThreadPool, TrySubmitRejectsOnFullQueueWithoutSideEffects) {
+  ThreadPool pool(1, /*queue_capacity=*/1);
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  auto blocker = pool.submit([gate] { gate.wait(); });
+  // Wait for the worker to pick the blocker up so the queue is empty.
+  while (pool.pending() > 0) std::this_thread::yield();
+
+  auto queued = pool.try_submit([] { return 1; });
+  ASSERT_TRUE(queued.has_value());  // fills the single queue slot
+
+  std::atomic<bool> ran{false};
+  auto rejected = pool.try_submit([&ran] {
+    ran.store(true);
+    return 2;
+  });
+  // Unlike submit(), rejection neither blocks nor runs inline.
+  EXPECT_FALSE(rejected.has_value());
+  EXPECT_FALSE(ran.load());
+
+  release.set_value();
+  blocker.get();
+  EXPECT_EQ(queued->get(), 1);
+  EXPECT_FALSE(ran.load());  // the rejected task never ran at all
+
+  // Capacity freed: admission works again.
+  auto again = pool.try_submit([] { return 3; });
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(again->get(), 3);
+}
+
+TEST(ThreadPool, StressTrySubmitUnderContention) {
+  // Many producers hammering a tiny queue: every accepted future must
+  // complete, every rejected task must never execute, and the counts must
+  // reconcile exactly.
+  ThreadPool pool(2, /*queue_capacity=*/4);
+  constexpr int kProducers = 8;
+  constexpr int kAttempts = 500;
+  std::atomic<int> executed{0};
+  std::atomic<int> accepted{0};
+  std::atomic<int> rejected{0};
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&] {
+      std::vector<std::future<void>> futures;
+      futures.reserve(kAttempts);
+      for (int i = 0; i < kAttempts; ++i) {
+        auto future = pool.try_submit(
+            [&executed] { executed.fetch_add(1); });
+        if (future.has_value()) {
+          accepted.fetch_add(1);
+          futures.push_back(std::move(*future));
+        } else {
+          rejected.fetch_add(1);
+        }
+      }
+      for (auto& future : futures) future.get();
+    });
+  }
+  for (std::thread& producer : producers) producer.join();
+
+  EXPECT_EQ(accepted.load() + rejected.load(), kProducers * kAttempts);
+  EXPECT_EQ(executed.load(), accepted.load());
+  EXPECT_GT(accepted.load(), 0);
+  EXPECT_LE(pool.max_queue_depth(), 4u);
 }
 
 }  // namespace

@@ -1,0 +1,175 @@
+#include "service/http.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace fbmb::service {
+namespace {
+
+ParseStatus feed_all(HttpRequestParser& parser, const std::string& bytes) {
+  return parser.feed(bytes.data(), bytes.size());
+}
+
+TEST(HttpRequestParser, ParsesSimpleGet) {
+  HttpRequestParser parser;
+  ASSERT_EQ(feed_all(parser, "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n"),
+            ParseStatus::kDone);
+  EXPECT_EQ(parser.request().method, "GET");
+  EXPECT_EQ(parser.request().target, "/healthz");
+  EXPECT_EQ(parser.request().version, "HTTP/1.1");
+  EXPECT_TRUE(parser.request().body.empty());
+  EXPECT_TRUE(parser.request().keep_alive());
+}
+
+TEST(HttpRequestParser, ParsesPostBodyFedByteByByte) {
+  HttpRequestParser parser;
+  const std::string wire =
+      "POST /synthesize HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd";
+  for (char c : wire) parser.feed(&c, 1);
+  ASSERT_EQ(parser.status(), ParseStatus::kDone);
+  EXPECT_EQ(parser.request().method, "POST");
+  EXPECT_EQ(parser.request().body, "abcd");
+}
+
+TEST(HttpRequestParser, HeaderLookupIsCaseInsensitive) {
+  HttpRequestParser parser;
+  ASSERT_EQ(feed_all(parser,
+                     "GET / HTTP/1.1\r\nX-Thing:  padded \r\n\r\n"),
+            ParseStatus::kDone);
+  const std::string* value = parser.request().header("x-THING");
+  ASSERT_NE(value, nullptr);
+  EXPECT_EQ(*value, "padded");
+  EXPECT_EQ(parser.request().header("missing"), nullptr);
+}
+
+TEST(HttpRequestParser, KeepAliveSemanticsPerVersion) {
+  HttpRequestParser parser;
+  ASSERT_EQ(feed_all(parser, "GET / HTTP/1.0\r\n\r\n"), ParseStatus::kDone);
+  EXPECT_FALSE(parser.request().keep_alive());
+
+  parser.reset();
+  ASSERT_EQ(
+      feed_all(parser, "GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n"),
+      ParseStatus::kDone);
+  EXPECT_TRUE(parser.request().keep_alive());
+
+  parser.reset();
+  ASSERT_EQ(feed_all(parser,
+                     "GET / HTTP/1.1\r\nConnection: close\r\n\r\n"),
+            ParseStatus::kDone);
+  EXPECT_FALSE(parser.request().keep_alive());
+}
+
+TEST(HttpRequestParser, PipelinedRequestsSurviveReset) {
+  HttpRequestParser parser;
+  ASSERT_EQ(feed_all(parser,
+                     "GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n"),
+            ParseStatus::kDone);
+  EXPECT_EQ(parser.request().target, "/a");
+  parser.reset();
+  ASSERT_EQ(parser.status(), ParseStatus::kDone);
+  EXPECT_EQ(parser.request().target, "/b");
+  parser.reset();
+  EXPECT_EQ(parser.status(), ParseStatus::kNeedMore);
+}
+
+TEST(HttpRequestParser, RejectsMalformedStartLines) {
+  for (const char* wire : {
+           "GET\r\n\r\n",                           // one part
+           "GET / HTTP/1.1 extra\r\n\r\n",          // four parts
+           "GET / HTTP/2.0\r\n\r\n",                // unsupported version
+           "G@T / HTTP/1.1\r\n\r\n",                // non-token method
+           "GET /a b HTTP/1.1\r\n\r\n",             // space in target
+           "GET / HTTP/1.1\nHost: x\n\n",           // bare LF line ending
+       }) {
+    HttpRequestParser parser;
+    EXPECT_EQ(feed_all(parser, wire), ParseStatus::kBadRequest) << wire;
+    EXPECT_FALSE(parser.error().empty()) << wire;
+  }
+}
+
+TEST(HttpRequestParser, RejectsMalformedHeaders) {
+  for (const char* wire : {
+           "GET / HTTP/1.1\r\nNoColon\r\n\r\n",
+           "GET / HTTP/1.1\r\nBad Name: x\r\n\r\n",
+           "GET / HTTP/1.1\r\nA: 1\r\n  folded\r\n\r\n",  // obs-fold
+           "GET / HTTP/1.1\r\nContent-Length: two\r\n\r\n",
+           "GET / HTTP/1.1\r\nContent-Length: 1\r\n"
+           "Content-Length: 2\r\n\r\n",
+           "GET / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+       }) {
+    HttpRequestParser parser;
+    EXPECT_EQ(feed_all(parser, wire), ParseStatus::kBadRequest) << wire;
+  }
+}
+
+TEST(HttpRequestParser, EnforcesEveryBound) {
+  HttpLimits limits;
+  limits.max_request_line = 32;
+  limits.max_head_bytes = 100;
+  limits.max_headers = 2;
+  limits.max_body = 8;
+
+  {
+    HttpRequestParser parser(limits);
+    const std::string wire =
+        "GET /" + std::string(64, 'a') + " HTTP/1.1\r\n\r\n";
+    EXPECT_EQ(feed_all(parser, wire), ParseStatus::kBadRequest);
+  }
+  {
+    HttpRequestParser parser(limits);
+    EXPECT_EQ(feed_all(parser,
+                       "GET / HTTP/1.1\r\nA: 1\r\nB: 2\r\nC: 3\r\n\r\n"),
+              ParseStatus::kBadRequest);
+  }
+  {
+    HttpRequestParser parser(limits);
+    std::string wire = "GET / HTTP/1.1\r\n";
+    wire += "Long-Header-Name-Padding-Padding: value value value\r\n";
+    wire += "Another-Long-Header-Name-Padding: value value value\r\n\r\n";
+    EXPECT_EQ(feed_all(parser, wire), ParseStatus::kBadRequest);
+  }
+  {
+    HttpRequestParser parser(limits);
+    EXPECT_EQ(
+        feed_all(parser,
+                 "POST / HTTP/1.1\r\nContent-Length: 9\r\n\r\n123456789"),
+        ParseStatus::kTooLarge);
+  }
+}
+
+TEST(HttpRequestParser, TerminalStatusIsSticky) {
+  HttpRequestParser parser;
+  ASSERT_EQ(feed_all(parser, "junk\r\n\r\n"), ParseStatus::kBadRequest);
+  EXPECT_EQ(feed_all(parser, "GET / HTTP/1.1\r\n\r\n"),
+            ParseStatus::kBadRequest);
+}
+
+TEST(HttpResponse, SerializeRoundTripsThroughResponseParser) {
+  HttpResponse response;
+  response.status = 429;
+  response.body = "{\"error\": \"full\"}";
+  response.headers.emplace_back("Retry-After", "1");
+  const std::string wire = response.serialize(/*keep_alive=*/false);
+
+  HttpResponseParser parser;
+  ASSERT_EQ(parser.feed(wire.data(), wire.size()), ParseStatus::kDone);
+  EXPECT_EQ(parser.message().status, 429);
+  EXPECT_EQ(parser.message().body, response.body);
+  const std::string* retry = parser.message().header("retry-after");
+  ASSERT_NE(retry, nullptr);
+  EXPECT_EQ(*retry, "1");
+  const std::string* conn = parser.message().header("Connection");
+  ASSERT_NE(conn, nullptr);
+  EXPECT_EQ(*conn, "close");
+}
+
+TEST(HttpResponse, EveryServiceStatusHasAReason) {
+  for (int status : {200, 400, 404, 405, 413, 429, 500, 503, 504}) {
+    EXPECT_STRNE(http_status_reason(status), "") << status;
+  }
+}
+
+}  // namespace
+}  // namespace fbmb::service

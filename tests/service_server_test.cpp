@@ -1,0 +1,314 @@
+// End-to-end tests for SynthServer over real loopback sockets: endpoint
+// dispatch, admission control (429), deadlines (504), client-disconnect
+// cancellation, and the bit-identical serving contract.
+
+#include "service/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_suite/benchmarks.hpp"
+#include "runtime/result_io.hpp"
+#include "service/http.hpp"
+#include "service/socket.hpp"
+
+namespace fbmb::service {
+namespace {
+
+using namespace std::chrono_literals;
+
+/// One HTTP exchange over a fresh loopback connection.
+std::optional<HttpResponseMessage> roundtrip(std::uint16_t port,
+                                             const std::string& method,
+                                             const std::string& target,
+                                             const std::string& body = {}) {
+  std::optional<Socket> conn = connect_to("127.0.0.1", port, 2000);
+  if (!conn) return std::nullopt;
+  std::string wire = method + " " + target +
+                     " HTTP/1.1\r\nHost: t\r\nConnection: close\r\n"
+                     "Content-Length: " +
+                     std::to_string(body.size()) + "\r\n\r\n" + body;
+  if (!conn->send_all(wire)) return std::nullopt;
+
+  HttpLimits limits;
+  limits.max_body = 8u << 20;
+  HttpResponseParser parser(limits);
+  char buffer[4096];
+  while (parser.status() == ParseStatus::kNeedMore) {
+    std::size_t received = 0;
+    const IoStatus io = conn->read_some(buffer, sizeof(buffer),
+                                        /*timeout_ms=*/30000, received);
+    if (io != IoStatus::kOk) break;
+    parser.feed(buffer, received);
+  }
+  if (parser.status() != ParseStatus::kDone) return std::nullopt;
+  return parser.message();
+}
+
+/// Reads service.responses.<key> out of a /metrics document.
+std::uint64_t response_counter(std::uint16_t port, const std::string& key) {
+  const auto metrics = roundtrip(port, "GET", "/metrics");
+  if (!metrics) return 0;
+  const auto root = jsonio::parse(metrics->body);
+  if (!root) return 0;
+  const jsonio::Value* service = root->find("service");
+  if (service == nullptr) return 0;
+  const jsonio::Value* responses = service->find("responses");
+  if (responses == nullptr) return 0;
+  const jsonio::Value* value = responses->find(key);
+  if (value == nullptr) return 0;
+  return static_cast<std::uint64_t>(value->num);
+}
+
+std::string strip_timing(std::string json) {
+  const std::size_t at = json.find(", \"cpu_seconds\":");
+  const std::size_t end = json.find(", \"stats\"", at);
+  if (at != std::string::npos && end != std::string::npos) {
+    json.erase(at, end - at);
+  }
+  return json;
+}
+
+ServerOptions test_options() {
+  ServerOptions options;
+  options.engine.threads = 2;
+  options.max_stall_ms = 2000;
+  return options;
+}
+
+TEST(SynthServer, HealthzAndMetricsEndpoints) {
+  SynthServer server(test_options());
+  server.start();
+  ASSERT_GT(server.port(), 0);
+
+  const auto health = roundtrip(server.port(), "GET", "/healthz");
+  ASSERT_TRUE(health.has_value());
+  EXPECT_EQ(health->status, 200);
+  EXPECT_EQ(health->body, "{\"status\": \"ok\"}");
+
+  const auto metrics = roundtrip(server.port(), "GET", "/metrics");
+  ASSERT_TRUE(metrics.has_value());
+  EXPECT_EQ(metrics->status, 200);
+  // The document embeds both the service counters and engine telemetry,
+  // and must itself be parseable JSON.
+  const auto root = jsonio::parse(metrics->body);
+  ASSERT_TRUE(root.has_value());
+  EXPECT_NE(root->find("service"), nullptr);
+  EXPECT_NE(root->find("engine"), nullptr);
+}
+
+TEST(SynthServer, ServedResultIsBitIdenticalToDirectCall) {
+  SynthServer server(test_options());
+  server.start();
+
+  const auto first = roundtrip(server.port(), "POST", "/synthesize",
+                               R"({"benchmark": "PCR", "seed": 7})");
+  ASSERT_TRUE(first.has_value());
+  ASSERT_EQ(first->status, 200) << first->body;
+  EXPECT_NE(first->body.find("\"cache_hit\": false"), std::string::npos);
+
+  // The same request again must be a cache hit with the same payload.
+  const auto second = roundtrip(server.port(), "POST", "/synthesize",
+                                R"({"benchmark": "PCR", "seed": 7})");
+  ASSERT_TRUE(second.has_value());
+  ASSERT_EQ(second->status, 200);
+  EXPECT_NE(second->body.find("\"cache_hit\": true"), std::string::npos);
+
+  // Reference: the library, same job, same seed (timing fields excluded —
+  // they measure the run, not the result).
+  Benchmark pcr = make_pcr();
+  SynthesisJob job;
+  job.name = pcr.name;
+  job.graph = pcr.graph;
+  job.allocation = Allocation(pcr.allocation);
+  job.wash = pcr.wash;
+  job.options.placer.seed = 7;
+  SynthesisEngine engine;
+  const std::string direct =
+      strip_timing(synthesis_result_to_json(engine.run_job(job).result));
+  EXPECT_NE(strip_timing(first->body).find(direct), std::string::npos);
+  EXPECT_NE(strip_timing(second->body).find(direct), std::string::npos);
+}
+
+TEST(SynthServer, RejectsBadRequestBodies) {
+  SynthServer server(test_options());
+  server.start();
+  for (const char* body : {
+           "",                                        // empty
+           "not json",                                // unparseable
+           "[1, 2]",                                  // not an object
+           R"({"seed": 1})",                          // no workload
+           R"({"benchmark": "PCR", "assay": "x"})",   // both workloads
+           R"({"benchmark": "NoSuchAssay"})",         // unknown name
+           R"({"benchmark": "PCR", "flow": "hm"})",   // bad flow
+           R"({"benchmark": "PCR", "seed": -1})",     // bad seed
+           R"({"benchmark": "PCR", "restarts": 0})",  // bad restarts
+           R"({"assay": "op a mix 5"})",              // assay, no allocate
+           R"({"assay": "op a mix"})",                // malformed assay
+       }) {
+    const auto response =
+        roundtrip(server.port(), "POST", "/synthesize", body);
+    ASSERT_TRUE(response.has_value()) << body;
+    EXPECT_EQ(response->status, 400) << body;
+    EXPECT_NE(response->body.find("\"error\""), std::string::npos) << body;
+  }
+  EXPECT_GE(response_counter(server.port(), "bad_request"), 10u);
+}
+
+TEST(SynthServer, UnknownTargetsAndMethods) {
+  SynthServer server(test_options());
+  server.start();
+  EXPECT_EQ(roundtrip(server.port(), "GET", "/nope")->status, 404);
+  EXPECT_EQ(roundtrip(server.port(), "GET", "/synthesize")->status, 405);
+  EXPECT_EQ(roundtrip(server.port(), "POST", "/healthz")->status, 405);
+  EXPECT_EQ(roundtrip(server.port(), "POST", "/metrics")->status, 405);
+}
+
+TEST(SynthServer, OversizedBodyAnswers413) {
+  ServerOptions options = test_options();
+  options.http.max_body = 64;
+  SynthServer server(options);
+  server.start();
+  const std::string body =
+      R"({"benchmark": "PCR", "pad": ")" + std::string(128, 'x') + "\"}";
+  const auto response =
+      roundtrip(server.port(), "POST", "/synthesize", body);
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status, 413);
+}
+
+TEST(SynthServer, MalformedHttpAnswers400) {
+  SynthServer server(test_options());
+  server.start();
+  std::optional<Socket> conn = connect_to("127.0.0.1", server.port(), 2000);
+  ASSERT_TRUE(conn.has_value());
+  ASSERT_TRUE(conn->send_all("THIS IS NOT HTTP\r\n\r\n"));
+  HttpResponseParser parser;
+  char buffer[1024];
+  while (parser.status() == ParseStatus::kNeedMore) {
+    std::size_t received = 0;
+    if (conn->read_some(buffer, sizeof(buffer), 5000, received) !=
+        IoStatus::kOk) {
+      break;
+    }
+    parser.feed(buffer, received);
+  }
+  ASSERT_EQ(parser.status(), ParseStatus::kDone);
+  EXPECT_EQ(parser.message().status, 400);
+}
+
+TEST(SynthServer, DeadlineExpiryAnswers504) {
+  SynthServer server(test_options());
+  server.start();
+  // The 1 ms deadline fires during the 300 ms stall, long before any
+  // synthesis work starts.
+  const auto response = roundtrip(
+      server.port(), "POST", "/synthesize",
+      R"({"benchmark": "PCR", "timeout_ms": 1, "stall_ms": 300})");
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status, 504) << response->body;
+  EXPECT_NE(response->body.find("deadline"), std::string::npos);
+  EXPECT_EQ(response_counter(server.port(), "timed_out"), 1u);
+  // A deadline is not an internal error.
+  EXPECT_EQ(response_counter(server.port(), "error"), 0u);
+}
+
+TEST(SynthServer, FullQueueAnswers429WithRetryAfter) {
+  ServerOptions options = test_options();
+  options.engine.threads = 1;
+  options.engine.queue_capacity = 1;
+  SynthServer server(options);
+  server.start();
+
+  // Four concurrent stalled jobs against one worker and a one-slot queue:
+  // at least one must be turned away at admission.
+  std::vector<std::thread> clients;
+  std::vector<int> statuses(4, 0);
+  std::vector<std::string> retry_after(4);
+  for (int i = 0; i < 4; ++i) {
+    clients.emplace_back([&, i] {
+      const auto response =
+          roundtrip(server.port(), "POST", "/synthesize",
+                    R"({"benchmark": "PCR", "stall_ms": 400})");
+      if (response) {
+        statuses[static_cast<std::size_t>(i)] = response->status;
+        if (const std::string* h = response->header("Retry-After")) {
+          retry_after[static_cast<std::size_t>(i)] = *h;
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  int ok = 0;
+  int rejected = 0;
+  for (int i = 0; i < 4; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    if (statuses[idx] == 200) ++ok;
+    if (statuses[idx] == 429) {
+      ++rejected;
+      EXPECT_EQ(retry_after[idx], "1");
+    }
+  }
+  EXPECT_EQ(ok + rejected, 4);  // every request got a definite answer
+  EXPECT_GE(ok, 1);
+  EXPECT_GE(rejected, 1);
+  EXPECT_EQ(response_counter(server.port(), "rejected"),
+            static_cast<std::uint64_t>(rejected));
+}
+
+TEST(SynthServer, ClientDisconnectCancelsTheJob) {
+  SynthServer server(test_options());
+  server.start();
+  {
+    std::optional<Socket> conn =
+        connect_to("127.0.0.1", server.port(), 2000);
+    ASSERT_TRUE(conn.has_value());
+    const std::string body = R"({"benchmark": "PCR", "stall_ms": 1500})";
+    const std::string wire =
+        "POST /synthesize HTTP/1.1\r\nHost: t\r\nContent-Length: " +
+        std::to_string(body.size()) + "\r\n\r\n" + body;
+    ASSERT_TRUE(conn->send_all(wire));
+    std::this_thread::sleep_for(50ms);
+    // Hang up while the job is stalling; the handler must notice and
+    // cancel instead of finishing work nobody will read.
+  }
+  const auto deadline = std::chrono::steady_clock::now() + 5s;
+  std::uint64_t cancelled = 0;
+  while (std::chrono::steady_clock::now() < deadline) {
+    cancelled = response_counter(server.port(), "cancelled");
+    if (cancelled > 0) break;
+    std::this_thread::sleep_for(20ms);
+  }
+  EXPECT_EQ(cancelled, 1u);
+  EXPECT_EQ(response_counter(server.port(), "error"), 0u);
+}
+
+TEST(SynthServer, KeepAliveServesSequentialRequests) {
+  SynthServer server(test_options());
+  server.start();
+  std::optional<Socket> conn = connect_to("127.0.0.1", server.port(), 2000);
+  ASSERT_TRUE(conn.has_value());
+  for (int round = 0; round < 3; ++round) {
+    ASSERT_TRUE(conn->send_all("GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n"));
+    HttpResponseParser parser;
+    char buffer[1024];
+    while (parser.status() == ParseStatus::kNeedMore) {
+      std::size_t received = 0;
+      ASSERT_EQ(conn->read_some(buffer, sizeof(buffer), 5000, received),
+                IoStatus::kOk)
+          << "round " << round;
+      parser.feed(buffer, received);
+    }
+    ASSERT_EQ(parser.status(), ParseStatus::kDone);
+    EXPECT_EQ(parser.message().status, 200);
+  }
+}
+
+}  // namespace
+}  // namespace fbmb::service
