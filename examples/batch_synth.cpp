@@ -144,7 +144,8 @@ int main(int argc, char** argv) {
             << " misses\n  stage walls (s): schedule "
             << format_double(snap.stage_seconds.schedule, 3) << ", refine "
             << format_double(snap.stage_seconds.refine, 3) << ", place "
-            << format_double(snap.stage_seconds.place, 3) << ", route "
+            << format_double(snap.stage_seconds.place, 3) << ", grid "
+            << format_double(snap.stage_seconds.grid_build, 3) << ", route "
             << format_double(snap.stage_seconds.route, 3) << ", retime "
             << format_double(snap.stage_seconds.retime, 3)
             << "\n  max queue depth: " << snap.max_queue_depth << "\n";

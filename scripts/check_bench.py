@@ -12,6 +12,19 @@ sched_perf (--json-out) and fails when:
     X (e.g. --geomean BENCH_sched.json=1.5 enforces the scheduler core's
     acceptance threshold).
 
+Gates the route–retime fixpoint report written by flow_perf (--json-out)
+when given via --flow FILE: every config must report identical == true
+(the incremental fixpoint is bit-identical to the from-scratch loop),
+every config's end-to-end speedup must stay above --flow-min-speedup
+(default 0.75 — a flow that converges in one round has no repeat work
+to eliminate, so its theoretical best is parity minus the footprint-
+recording overhead, observed at 5-15% on the largest single-round
+config; the floor catches a real regression, not that overhead or
+timer noise on microsecond-scale runs), and the geomean
+speedup over the multi-round flows — the configs where the reuse
+machinery actually has repeat work to remove — must meet
+--flow-geomean-multi (default 1.2).
+
 Also gates the synthesis-service load report written by service_load
 (--json-out) when given via --service FILE: every request must have been
 answered with an expected status, the warm payload must be bit-identical
@@ -21,6 +34,7 @@ to the direct library result, the client-side p99 latency must stay under
 Usage:
   scripts/check_bench.py BENCH_route.json BENCH_place.json \
       BENCH_sched.json --min-speedup 1.0 --geomean BENCH_sched.json=1.5
+  scripts/check_bench.py --flow BENCH_flow.json --flow-geomean-multi 1.2
   scripts/check_bench.py --service BENCH_service.json --service-p99 2000
 """
 
@@ -70,6 +84,70 @@ def check_file(path, min_speedup, geomean_floor):
                 f"{geomean_floor:.2f}x floor"
             )
     return errors, speedups, geomean
+
+
+def check_flow(path, min_speedup, geomean_multi_floor):
+    errors = []
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    benchmarks = doc.get("benchmarks")
+    if not isinstance(benchmarks, list) or not benchmarks:
+        raise ValueError(f"{path}: no 'benchmarks' array")
+
+    reused = 0
+    rerouted = 0
+    for entry in benchmarks:
+        name = entry.get("name", "<unnamed>")
+        if entry.get("identical") is not True:
+            errors.append(
+                f"{path}: {name}: incremental fixpoint is not reported "
+                f"identical to the from-scratch loop "
+                f"(identical={entry.get('identical')!r})"
+            )
+        speedup = entry.get("speedup")
+        if not isinstance(speedup, (int, float)) or speedup <= 0:
+            errors.append(f"{path}: {name}: missing or invalid speedup")
+        elif speedup < min_speedup:
+            errors.append(
+                f"{path}: {name}: end-to-end speedup {speedup:.3f}x is "
+                f"below the {min_speedup:.2f}x floor"
+            )
+        flow = entry.get("flow")
+        if not isinstance(flow, dict) or not isinstance(
+            flow.get("rounds_detail"), list
+        ):
+            errors.append(
+                f"{path}: {name}: missing per-round reuse detail "
+                "(flow.rounds_detail)"
+            )
+            continue
+        reused += flow.get("transports_reused", 0)
+        rerouted += flow.get("transports_rerouted", 0)
+
+    geomean_multi = doc.get("geomean_speedup_multi_round")
+    multi_count = doc.get("multi_round_configs")
+    if not isinstance(geomean_multi, (int, float)) or not multi_count:
+        errors.append(
+            f"{path}: missing geomean_speedup_multi_round / "
+            "multi_round_configs (no multi-round flows measured?)"
+        )
+    elif geomean_multi < geomean_multi_floor:
+        errors.append(
+            f"{path}: multi-round geomean speedup {geomean_multi:.3f}x "
+            f"is below the {geomean_multi_floor:.2f}x floor"
+        )
+
+    searches = reused + rerouted
+    reuse = reused / searches if searches else 0.0
+    print(
+        f"{path}: {len(benchmarks)} configs, "
+        f"geomean {doc.get('geomean_speedup', 0.0):.2f}x, "
+        f"multi-round geomean "
+        f"{geomean_multi if isinstance(geomean_multi, (int, float)) else 0.0:.2f}x "
+        f"over {multi_count} configs, "
+        f"{reused}/{searches} transports reused ({reuse:.0%})"
+    )
+    return errors
 
 
 def check_service(path, p99_ceiling_ms, error_rate_ceiling):
@@ -147,6 +225,30 @@ def main(argv=None):
         "(e.g. BENCH_sched.json=1.5); repeatable",
     )
     parser.add_argument(
+        "--flow",
+        action="append",
+        default=[],
+        metavar="FILE",
+        help="BENCH_flow.json route–retime fixpoint report(s) to gate; "
+        "repeatable",
+    )
+    parser.add_argument(
+        "--flow-min-speedup",
+        type=float,
+        default=0.75,
+        help="per-config end-to-end speedup floor for --flow files "
+        "(default: 0.75 — slack for single-round flows, whose "
+        "theoretical best is parity minus the footprint-recording "
+        "overhead)",
+    )
+    parser.add_argument(
+        "--flow-geomean-multi",
+        type=float,
+        default=1.2,
+        help="geomean speedup floor over multi-round flows for --flow "
+        "files (default: 1.2)",
+    )
+    parser.add_argument(
         "--service",
         action="append",
         default=[],
@@ -166,8 +268,10 @@ def main(argv=None):
         help="service error-rate ceiling (default: 0.0)",
     )
     args = parser.parse_args(argv)
-    if not args.files and not args.service:
-        parser.error("nothing to check: give perf files and/or --service")
+    if not args.files and not args.service and not args.flow:
+        parser.error(
+            "nothing to check: give perf files, --flow, and/or --service"
+        )
 
     geomean_floors = {}
     for spec in args.geomean:
@@ -196,6 +300,16 @@ def main(argv=None):
         if floor is not None:
             summary += f" (floor {floor:.2f}x)"
         print(summary)
+
+    for path in args.flow:
+        try:
+            all_errors.extend(
+                check_flow(
+                    path, args.flow_min_speedup, args.flow_geomean_multi
+                )
+            )
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            all_errors.append(f"{path}: {exc}")
 
     for path in args.service:
         try:

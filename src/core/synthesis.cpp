@@ -6,10 +6,9 @@
 #include <vector>
 #include <sstream>
 
+#include "core/flow_core.hpp"
 #include "place/sa_placer.hpp"
-#include "route/grid.hpp"
 #include "util/logging.hpp"
-#include "schedule/retiming.hpp"
 #include "util/strings.hpp"
 
 namespace fbmb {
@@ -20,51 +19,6 @@ using Clock = std::chrono::steady_clock;
 
 double seconds_since(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
-}
-
-/// Routes the schedule; whenever routing had to postpone a task, the
-/// postponements are folded back into the schedule (retiming) and routing
-/// is redone from scratch on the updated times, until a conflict-free
-/// consistent (schedule, routing) pair emerges. Delays only ever push
-/// events later, so the loop converges; a generous round cap guards
-/// pathological cases (the final retiming is still applied then).
-RoutingResult route_until_consistent(
-    Schedule& schedule, const SequencingGraph& graph,
-    const Allocation& allocation, const ChipSpec& chip,
-    const Placement& placement, const WashModel& wash_model,
-    const RouterOptions& router_options, StageTimes& stages,
-    const std::function<void(const char*)>& checkpoint) {
-  constexpr int kMaxRounds = 20;
-  int postponements = 0;
-  RouteStats stats_total;
-  for (int round = 0;; ++round) {
-    if (checkpoint) checkpoint("route");
-    const auto route_start = Clock::now();
-    RoutingGrid grid(chip, allocation, placement);
-    RoutingResult routing =
-        route_transports(grid, schedule, wash_model, router_options);
-    stages.route += seconds_since(route_start);
-    stats_total += routing.stats;
-    const bool any_delay =
-        std::any_of(routing.delays.begin(), routing.delays.end(),
-                    [](double d) { return d > 0.0; });
-    postponements += routing.conflict_postponements;
-    if (!any_delay || round + 1 >= kMaxRounds) {
-      if (any_delay) {
-        FBMB_WARN("routing still postponing after " << kMaxRounds
-                                                    << " rounds");
-        const auto retime_start = Clock::now();
-        apply_transport_delays(schedule, graph, routing.delays);
-        stages.retime += seconds_since(retime_start);
-      }
-      routing.conflict_postponements = postponements;
-      routing.stats = stats_total;
-      return routing;
-    }
-    const auto retime_start = Clock::now();
-    apply_transport_delays(schedule, graph, routing.delays);
-    stages.retime += seconds_since(retime_start);
-  }
 }
 
 SynthesisResult finish(const Allocation& allocation, Schedule schedule,
@@ -136,14 +90,16 @@ SynthesisResult synthesize_custom(const SequencingGraph& graph,
     Placement placement = place_components_baseline(
         allocation, schedule, chip, options.baseline_placer);
     stages.place = seconds_since(place_start);
+    FlowStats flow_stats;
     RoutingResult routing = route_until_consistent(
         schedule, graph, allocation, chip, placement, wash_model,
-        options.router, stages, checkpoint);
+        options.router, stages, checkpoint, &flow_stats);
     SynthesisResult result =
         finish(allocation, std::move(schedule), std::move(placement),
                std::move(routing), chip, t0);
     result.stage_seconds = stages;
     result.sched_stats = sched_stats;
+    result.flow_stats = std::move(flow_stats);
     return result;
   }
 
@@ -159,11 +115,14 @@ SynthesisResult synthesize_custom(const SequencingGraph& graph,
   stages.place = seconds_since(place_start);
   SynthesisResult best;
   bool have_best = false;
+  FlowStats flow_total;
   for (Placement& placement : candidates) {
     Schedule trial_schedule = schedule;
+    FlowStats flow_stats;
     RoutingResult routing = route_until_consistent(
         trial_schedule, graph, allocation, chip, placement, wash_model,
-        options.router, stages, checkpoint);
+        options.router, stages, checkpoint, &flow_stats);
+    flow_total += flow_stats;
     SynthesisResult result =
         finish(allocation, std::move(trial_schedule), std::move(placement),
                std::move(routing), chip, t0);
@@ -180,6 +139,7 @@ SynthesisResult synthesize_custom(const SequencingGraph& graph,
   best.stage_seconds = stages;
   best.place_stats = place_stats;
   best.sched_stats = sched_stats;
+  best.flow_stats = std::move(flow_total);
   return best;
 }
 

@@ -18,6 +18,7 @@
 #include "biochip/chip_spec.hpp"
 #include "biochip/component_library.hpp"
 #include "biochip/wash_model.hpp"
+#include "core/flow_core.hpp"
 #include "graph/sequencing_graph.hpp"
 #include "place/constructive_placer.hpp"
 #include "place/placement.hpp"
@@ -52,18 +53,8 @@ struct SynthesisOptions {
   std::function<void(const char* stage)> checkpoint;
 };
 
-/// Wall time spent in each stage of one synthesis flow, in seconds. Filled
-/// by synthesize_custom (and therefore by both presets); the runtime
-/// telemetry layer aggregates these across batched jobs.
-struct StageTimes {
-  double schedule = 0.0;  ///< binding & list scheduling
-  double refine = 0.0;    ///< channel-storage refinement pass
-  double place = 0.0;     ///< placement (SA restarts + polish, or BA)
-  double route = 0.0;     ///< A* routing rounds (dominant stage)
-  double retime = 0.0;    ///< folding router postponements into the schedule
-
-  double total() const { return schedule + refine + place + route + retime; }
-};
+// StageTimes lives in core/flow_core.hpp (included above) alongside the
+// route–retime fixpoint that fills its grid_build/route/retime spans.
 
 /// Everything a flow produces, plus the paper's reported metrics.
 struct SynthesisResult {
@@ -78,6 +69,10 @@ struct SynthesisResult {
   /// List-scheduler search counters (heap traffic, binding probes, Case
   /// I/II decisions) for the single scheduling pass of the flow.
   SchedStats sched_stats;
+  /// Route–retime fixpoint reuse counters (rounds, transports re-routed /
+  /// replayed, reservations evicted), summed over all placement
+  /// candidates' fixpoints.
+  FlowStats flow_stats;
 
   double completion_time = 0.0;          ///< bioassay execution time (s)
   double utilization = 0.0;              ///< Eq. 1, in [0, 1]

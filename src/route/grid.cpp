@@ -30,6 +30,14 @@ RoutingGrid::RoutingGrid(const ChipSpec& spec, const Allocation& allocation,
   }
 }
 
+void RoutingGrid::reset_transients() {
+  for (auto& c : cells_) {
+    c.weight = spec_.initial_cell_weight;
+    c.occupancy = IntervalSet{};
+    c.residue.reset();
+  }
+}
+
 std::vector<Point> RoutingGrid::ports(ComponentId id) const {
   const Rect fp = placement_->footprint(id, *allocation_);
   std::vector<Point> out;

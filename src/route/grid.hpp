@@ -59,6 +59,13 @@ class RoutingGrid {
   /// in — placement legality with spacing >= 1 prevents that.
   std::vector<Point> ports(ComponentId id) const;
 
+  /// Clears every cell's routing-produced state — occupancy slots, residue,
+  /// weight back to spec().initial_cell_weight — leaving the static state
+  /// (dimensions, blockages) untouched. Equivalent to reconstructing the
+  /// grid from the same placement, without the allocation; the incremental
+  /// fixpoint router calls this between rounds.
+  void reset_transients();
+
   /// 4-neighbourhood of p, filtered to in-bounds cells.
   std::vector<Point> neighbors(const Point& p) const;
 

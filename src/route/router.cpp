@@ -1,360 +1,16 @@
 #include "route/router.hpp"
 
 #include <algorithm>
-#include <cmath>
-#include <cstdint>
-#include <limits>
 #include <vector>
 
+#include "route/router_core.hpp"
 #include "util/logging.hpp"
 
 namespace fbmb {
 
-namespace {
-
-/// One unit of routing work derived from a TransportTask.
-struct Task {
-  int transport_id;
-  ComponentId from;
-  ComponentId to;
-  Fluid fluid;
-  double start;        ///< departure
-  double transport_time;
-  double cache_dwell;  ///< consume - arrival (>= 0)
-};
-
-struct AStarNode {
-  double f;
-  double g;
-  Point point;
-  bool operator>(const AStarNode& o) const {
-    if (f != o.f) return f > o.f;
-    if (g != o.g) return g > o.g;
-    return o.point < point;  // deterministic tiebreak
-  }
-};
-
-/// Flat-array A* workspace, allocated once per route_transports call and
-/// reused for every task. All per-task state (best g, parent links, target
-/// membership, wash times) lives in dense grid-indexed arrays that are
-/// "cleared" by bumping a generation stamp, so routing a task performs no
-/// bookkeeping allocation. Produces bit-identical results to the map-based
-/// reference router (reference_router.cpp): the g/f arithmetic is the same
-/// expression tree, the heuristic below equals the reference's
-/// min-Manhattan scan, and the open list pops in the same (f, g, point)
-/// total order.
-class RouterCore {
- public:
-  RouterCore(RoutingGrid& grid, const WashModel& wash_model,
-             const RouterOptions& opts, RouteStats& stats)
-      : grid_(grid),
-        wash_model_(wash_model),
-        opts_(opts),
-        stats_(stats),
-        width_(grid.width()),
-        height_(grid.height()),
-        size_(static_cast<std::size_t>(width_) *
-              static_cast<std::size_t>(height_)),
-        cache_cells_(grid.spec().cache_segment_cells),
-        uniform_weight_(grid.spec().initial_cell_weight),
-        cells_(size_ ? &grid.cell(Point{0, 0}) : nullptr),
-        dist_fields_(grid.allocation()->size()),
-        best_g_(size_, 0.0),
-        parent_(size_, -1),
-        wash_(size_, 0.0),
-        g_stamp_(size_, 0),
-        target_stamp_(size_, 0),
-        wash_stamp_(size_, 0) {}
-
-  /// Installs a task: bumps the task generation (invalidating the target
-  /// bitmap and wash cache at once), marks the target bitmap, and binds
-  /// the heuristic distance field for the target component.
-  void begin_task(const Task& task, const std::vector<Point>& sources,
-                  const std::vector<Point>& targets,
-                  ComponentId target_component) {
-    ++gen_;
-    task_ = &task;
-    sources_ = &sources;
-    dist_ = distance_field(target_component, targets).data();
-    for (const Point& t : targets) target_stamp_[index(t)] = gen_;
-    ++stats_.tasks_routed;
-  }
-
-  /// Multi-source multi-target A* for the current task at the given start
-  /// time. Returns the path (source..target) or empty if unreachable under
-  /// the feasibility predicate. Each call is a fresh search: the search
-  /// generation is bumped so best-g/parent state from a previous
-  /// postponement attempt (same task, earlier start) is invalidated, just
-  /// like the reference router's per-call maps.
-  std::vector<Point> find_path(double start) {
-    ++search_gen_;
-    heap_.clear();
-    for (const Point& s : *sources_) {
-      const std::size_t i = index(s);
-      if (!feasible(i, start)) continue;
-      const double g = 1.0 + cell_weight(i);
-      if (g_stamp_[i] != search_gen_ || g < best_g_[i]) {
-        g_stamp_[i] = search_gen_;
-        best_g_[i] = g;
-        parent_[i] = -1;
-        push_open({g + dist_[i], g, s});
-      }
-    }
-    while (!heap_.empty()) {
-      const AStarNode node = pop_open();
-      const std::size_t i = index(node.point);
-      if (node.g > best_g_[i]) continue;  // stale (g_stamp_[i]==search_gen_)
-      ++stats_.nodes_expanded;
-      if (target_stamp_[i] == gen_) return reconstruct(i);
-      const int x = node.point.x;
-      const int y = node.point.y;
-      // Same neighbor order as RoutingGrid::neighbors (irrelevant for the
-      // pop order, which is total, but kept for symmetry).
-      if (x + 1 < width_) relax(i, {x + 1, y}, node.g, start);
-      if (x > 0) relax(i, {x - 1, y}, node.g, start);
-      if (y + 1 < height_) relax(i, {x, y + 1}, node.g, start);
-      if (y > 0) relax(i, {x, y - 1}, node.g, start);
-    }
-    return {};
-  }
-
-  /// Earliest start >= desired at which every path cell is free for its
-  /// required interval (baseline conflict resolution by postponement).
-  /// Accepts t only when no cell overlaps the exact interval occupy() will
-  /// insert, so a returned start can never make insert_disjoint fail: an
-  /// epsilon-based fixpoint test here could accept a start with a sliver
-  /// overlap that occupy() then rejects.
-  double earliest_feasible_start(const std::vector<Point>& path,
-                                 double desired) {
-    double t = desired;
-    const int n = static_cast<int>(path.size());
-    for (int iteration = 0; iteration < 1000; ++iteration) {
-      double needed = t;
-      bool conflict = false;
-      for (int i = 0; i < n; ++i) {
-        const std::size_t idx = index(path[static_cast<std::size_t>(i)]);
-        const double wash = wash_needed(idx);
-        const bool tail = (n - 1 - i) < cache_cells_;
-        // Exactly the interval occupy() inserts for this cell.
-        const double lo = t - wash;
-        const double hi = t + task_->transport_time +
-                          (tail ? task_->cache_dwell : 0.0);
-        const IntervalSet& occ = cells_[idx].occupancy;
-        if (!occ.overlaps({lo, hi})) continue;
-        conflict = true;
-        needed = std::max(needed, occ.earliest_fit(lo, hi - lo) + wash);
-      }
-      if (!conflict) return t;
-      // (t - wash) + wash can round below t, stalling the advance on a
-      // sliver overlap; force at least one-ulp progress in that case.
-      t = needed > t
-              ? needed
-              : std::nextafter(t, std::numeric_limits<double>::infinity());
-    }
-    return t;
-  }
-
-  /// Wash flush before the movement: one buffer flush over the path whose
-  /// duration is the slowest residue on it (Fig. 9 accounting).
-  double flush_duration(const std::vector<Point>& path) {
-    double flush = 0.0;
-    for (const Point& p : path) {
-      flush = std::max(flush, wash_needed(index(p)));
-    }
-    return flush;
-  }
-
-  /// Commits the routed task: occupancy slots, residues, weights. Throws
-  /// RoutingError if a reservation overlaps existing occupancy — that
-  /// would mean corrupt (silently conflicting) routing state, so it is a
-  /// hard error in every build type, not an assert.
-  void occupy(const std::vector<Point>& path, double start) {
-    const int n = static_cast<int>(path.size());
-    for (int i = 0; i < n; ++i) {
-      const std::size_t idx = index(path[static_cast<std::size_t>(i)]);
-      const double wash = wash_needed(idx);
-      const bool tail = (n - 1 - i) < cache_cells_;
-      const double end = start + task_->transport_time +
-                         (tail ? task_->cache_dwell : 0.0);
-      CellState& cell = cells_[idx];
-      if (!cell.occupancy.insert_disjoint({start - wash, end})) {
-        throw RoutingError(
-            "internal occupancy conflict: feasibility accepted an interval "
-            "that overlaps an existing reservation");
-      }
-      cell.residue = task_->fluid;
-      if (opts_.wash_aware_weights) {
-        cell.weight = wash_model_.wash_time(task_->fluid);
-      }
-    }
-  }
-
-  void count_postponement_step() { ++stats_.postponement_steps; }
-
- private:
-  std::size_t index(const Point& p) const {
-    return static_cast<std::size_t>(p.y) * static_cast<std::size_t>(width_) +
-           static_cast<std::size_t>(p.x);
-  }
-
-  double cell_weight(std::size_t i) const {
-    return opts_.wash_aware_weights ? cells_[i].weight : uniform_weight_;
-  }
-
-  /// Per-(task, cell) wash time, derived once from the cell's residue and
-  /// memoized under the task's generation stamp. Valid for the whole task
-  /// (search, postponement retries, flush accounting, occupy): residues
-  /// only change in occupy, which touches each path cell after reading its
-  /// cached value, and A* paths never revisit a cell.
-  double wash_needed(std::size_t i) {
-    if (wash_stamp_[i] != gen_) {
-      wash_stamp_[i] = gen_;
-      const CellState& c = cells_[i];
-      wash_[i] = (!c.residue || c.residue->name == task_->fluid.name)
-                     ? 0.0
-                     : wash_model_.wash_time(*c.residue);
-    }
-    return wash_[i];
-  }
-
-  /// Eq. 5 feasibility: blocked cells and (in conflict-aware mode) cells
-  /// whose occupation slots overlap the task's required interval are +inf.
-  bool feasible(std::size_t i, double start) {
-    const CellState& c = cells_[i];
-    if (c.blocked) return false;
-    if (!opts_.conflict_aware) return true;
-    const double wash = wash_needed(i);
-    double end = start + task_->transport_time;
-    // Tail cells (near a target port) also carry the cache dwell. dist_
-    // equals the reference's min-Manhattan scan over all targets.
-    if (dist_[i] <= cache_cells_ && task_->cache_dwell > 0.0) {
-      end += task_->cache_dwell;
-    }
-    if (c.occupancy.overlaps({start - wash, end})) {
-      ++stats_.feasibility_rejections;
-      return false;
-    }
-    return true;
-  }
-
-  void relax(std::size_t from, Point np, double node_g, double start) {
-    const std::size_t i = index(np);
-    if (!feasible(i, start)) return;
-    const double g = node_g + 1.0 + cell_weight(i);
-    if (g_stamp_[i] != search_gen_ || g < best_g_[i]) {
-      g_stamp_[i] = search_gen_;
-      best_g_[i] = g;
-      parent_[i] = static_cast<std::int32_t>(from);
-      push_open({g + dist_[i], g, np});
-    }
-  }
-
-  void push_open(const AStarNode& node) {
-    heap_.push_back(node);
-    std::push_heap(heap_.begin(), heap_.end(), std::greater<AStarNode>{});
-    ++stats_.heap_pushes;
-  }
-
-  AStarNode pop_open() {
-    std::pop_heap(heap_.begin(), heap_.end(), std::greater<AStarNode>{});
-    const AStarNode node = heap_.back();
-    heap_.pop_back();
-    return node;
-  }
-
-  std::vector<Point> reconstruct(std::size_t goal) const {
-    std::vector<Point> path;
-    for (std::int32_t cur = static_cast<std::int32_t>(goal); cur >= 0;
-         cur = parent_[static_cast<std::size_t>(cur)]) {
-      const int idx = static_cast<int>(cur);
-      path.push_back({idx % width_, idx / width_});
-    }
-    std::reverse(path.begin(), path.end());
-    return path;
-  }
-
-  /// Heuristic distance field for a target component: multi-source BFS
-  /// from its port cells over the full grid (blockages included, exactly
-  /// like a Manhattan bound ignores them), so field[i] == min over targets
-  /// of manhattan_distance — the reference heuristic, precomputed. Built
-  /// once per component per route_transports call: ports and blockages
-  /// never change while routing, only weights and occupancy do.
-  const std::vector<std::int32_t>& distance_field(
-      ComponentId component, const std::vector<Point>& targets) {
-    std::vector<std::int32_t>& field =
-        dist_fields_[static_cast<std::size_t>(component.value)];
-    if (!field.empty()) return field;
-    field.assign(size_, -1);
-    bfs_queue_.clear();
-    for (const Point& t : targets) {
-      const std::size_t i = index(t);
-      if (field[i] != 0) {
-        field[i] = 0;
-        bfs_queue_.push_back(static_cast<std::int32_t>(i));
-      }
-    }
-    for (std::size_t head = 0; head < bfs_queue_.size(); ++head) {
-      const std::int32_t cur = bfs_queue_[head];
-      const std::int32_t d = field[static_cast<std::size_t>(cur)] + 1;
-      const int x = static_cast<int>(cur) % width_;
-      const int y = static_cast<int>(cur) / width_;
-      auto visit = [&](std::int32_t i) {
-        if (field[static_cast<std::size_t>(i)] < 0) {
-          field[static_cast<std::size_t>(i)] = d;
-          bfs_queue_.push_back(i);
-        }
-      };
-      if (x + 1 < width_) visit(cur + 1);
-      if (x > 0) visit(cur - 1);
-      if (y + 1 < height_) visit(cur + width_);
-      if (y > 0) visit(cur - width_);
-    }
-    ++stats_.distance_fields_built;
-    return field;
-  }
-
-  RoutingGrid& grid_;
-  const WashModel& wash_model_;
-  const RouterOptions& opts_;
-  RouteStats& stats_;
-  const int width_;
-  const int height_;
-  const std::size_t size_;
-  const int cache_cells_;
-  const double uniform_weight_;
-  CellState* const cells_;  ///< row-major, same layout as RoutingGrid
-
-  const Task* task_ = nullptr;
-  const std::vector<Point>* sources_ = nullptr;
-  const std::int32_t* dist_ = nullptr;  ///< current task's heuristic field
-  std::uint32_t gen_ = 0;         ///< task generation (targets, wash cache)
-  std::uint32_t search_gen_ = 0;  ///< search generation (best g, parents)
-
-  /// One lazily built field per component (stable storage: the outer
-  /// vector is sized once, so dist_ pointers stay valid across tasks).
-  std::vector<std::vector<std::int32_t>> dist_fields_;
-  std::vector<std::int32_t> bfs_queue_;
-
-  // Generation-stamped per-cell state. A stamp != gen_ means "unset".
-  std::vector<double> best_g_;
-  std::vector<std::int32_t> parent_;  ///< flat cell index; -1 for sources
-  std::vector<double> wash_;
-  std::vector<std::uint32_t> g_stamp_;
-  std::vector<std::uint32_t> target_stamp_;
-  std::vector<std::uint32_t> wash_stamp_;
-
-  std::vector<AStarNode> heap_;  ///< open list (std::push_heap/pop_heap)
-};
-
-}  // namespace
-
-RoutingResult route_transports(RoutingGrid& grid, const Schedule& schedule,
-                               const WashModel& wash_model,
-                               const RouterOptions& options) {
-  RoutingResult result;
-  result.delays.assign(schedule.transports.size(), 0.0);
-
-  // Task ordering; the paper's choice is non-decreasing start time.
+std::vector<int> route_transport_order(const RoutingGrid& grid,
+                                       const Schedule& schedule,
+                                       const RouterOptions& options) {
   std::vector<int> order(schedule.transports.size());
   for (std::size_t i = 0; i < order.size(); ++i) {
     order[i] = static_cast<int>(i);
@@ -389,13 +45,25 @@ RoutingResult route_transports(RoutingGrid& grid, const Schedule& schedule,
     case RouteOrder::kId:
       break;  // already in id order
   }
+  return order;
+}
 
-  RouterCore core(grid, wash_model, options, result.stats);
+RoutingResult route_transports(RoutingGrid& grid, const Schedule& schedule,
+                               const WashModel& wash_model,
+                               const RouterOptions& options) {
+  RoutingResult result;
+  result.delays.assign(schedule.transports.size(), 0.0);
+
+  // Task ordering; the paper's choice is non-decreasing start time.
+  const std::vector<int> order =
+      route_transport_order(grid, schedule, options);
+
+  RouterCore core(grid, wash_model, options, &result.stats);
 
   for (int idx : order) {
     const TransportTask& transport =
         schedule.transports[static_cast<std::size_t>(idx)];
-    Task task;
+    RouteTask task;
     task.transport_id = idx;
     task.from = transport.from;
     task.to = transport.to;
@@ -413,6 +81,7 @@ RoutingResult route_transports(RoutingGrid& grid, const Schedule& schedule,
     }
     core.begin_task(task, sources, targets,
                     task.from == task.to ? task.from : task.to);
+    core.count_task_routed();
 
     std::vector<Point> path;
     double start = task.start;

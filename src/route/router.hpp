@@ -56,6 +56,13 @@ struct RouterOptions {
   double postpone_step = 1.0;
   /// Give up after this many postponement steps for one task.
   int max_postpone_steps = 100000;
+  /// Round cap for the route–retime fixpoint (route_until_consistent).
+  /// Delays only push events later so the loop converges; this guards
+  /// pathological cases. When the cap fires, the fixpoint applies the
+  /// final retiming and runs one reconciliation route so the returned
+  /// (schedule, routing) pair is still consistent, and reports it via
+  /// RouteStats::fixpoints_capped.
+  int max_fixpoint_rounds = 20;
 };
 
 class RoutingError : public std::runtime_error {
@@ -70,5 +77,13 @@ class RoutingError : public std::runtime_error {
 RoutingResult route_transports(RoutingGrid& grid, const Schedule& schedule,
                                const WashModel& wash_model,
                                const RouterOptions& options = {});
+
+/// The sequential routing order route_transports processes `schedule` in
+/// under options.order (deterministic). Exposed so the incremental
+/// fixpoint router sweeps tasks in the exact same order as a from-scratch
+/// route of the same schedule.
+std::vector<int> route_transport_order(const RoutingGrid& grid,
+                                       const Schedule& schedule,
+                                       const RouterOptions& options);
 
 }  // namespace fbmb

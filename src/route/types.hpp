@@ -20,6 +20,10 @@ struct RouteStats {
   std::uint64_t feasibility_rejections = 0; ///< cells priced +inf (Eq. 5)
   std::uint64_t postponement_steps = 0;     ///< postpone_step increments
   std::uint64_t distance_fields_built = 0;  ///< heuristic BFS fields built
+  /// Route–retime fixpoints that hit RouterOptions::max_fixpoint_rounds
+  /// with delays still pending (the result is still consistent: the cap
+  /// path applies the final retiming and routes once more to reconcile).
+  std::uint64_t fixpoints_capped = 0;
 
   RouteStats& operator+=(const RouteStats& o) {
     tasks_routed += o.tasks_routed;
@@ -28,6 +32,7 @@ struct RouteStats {
     feasibility_rejections += o.feasibility_rejections;
     postponement_steps += o.postponement_steps;
     distance_fields_built += o.distance_fields_built;
+    fixpoints_capped += o.fixpoints_capped;
     return *this;
   }
 };
@@ -72,5 +77,12 @@ struct RoutingResult {
   /// routed detour against the distinct-channel metric.
   int total_routed_cells() const;
 };
+
+/// True when the two results are bit-identical apart from their
+/// telemetry-only RouteStats: same paths (cells and all timing doubles,
+/// in the same order), same per-transport delays, same wash total and
+/// postponement count. This is the equivalence relation the core-vs-
+/// reference tests and benches assert.
+bool identical_routing(const RoutingResult& a, const RoutingResult& b);
 
 }  // namespace fbmb

@@ -150,6 +150,7 @@ void hash_options(InputHasher& h, const SynthesisOptions& options) {
   h.boolean(options.router.conflict_aware);
   h.f64(options.router.postpone_step);
   h.i64(options.router.max_postpone_steps);
+  h.i64(options.router.max_fixpoint_rounds);
 
   h.u64(static_cast<std::uint64_t>(options.placement));
 }

@@ -413,7 +413,9 @@ void write_routing(std::ostringstream& os, const RoutingResult& routing) {
      << routing.stats.feasibility_rejections
      << ", \"postponement_steps\": " << routing.stats.postponement_steps
      << ", \"distance_fields_built\": "
-     << routing.stats.distance_fields_built << "}, \"delays\": [";
+     << routing.stats.distance_fields_built
+     << ", \"fixpoints_capped\": " << routing.stats.fixpoints_capped
+     << "}, \"delays\": [";
   for (std::size_t i = 0; i < routing.delays.size(); ++i) {
     os << (i ? "," : "") << exact(routing.delays[i]);
   }
@@ -454,6 +456,14 @@ bool read_routing(const jsonio::Value& obj, RoutingResult& routing) {
     routing.stats.feasibility_rejections = u64("feasibility_rejections");
     routing.stats.postponement_steps = u64("postponement_steps");
     routing.stats.distance_fields_built = u64("distance_fields_built");
+    // fixpoints_capped was added to route_stats later; a local flag keeps
+    // spills written before it (which have the object but not the key)
+    // loading with the counter at zero.
+    bool have_capped = true;
+    const double capped = get_num(*rs, "fixpoints_capped", have_capped);
+    if (have_capped) {
+      routing.stats.fixpoints_capped = static_cast<std::uint64_t>(capped);
+    }
   }
   const jsonio::Value* delays = get_array(obj, "delays", ok);
   const jsonio::Value* paths = get_array(obj, "paths", ok);
@@ -503,6 +513,7 @@ std::string synthesis_result_to_json(const SynthesisResult& result) {
      << exact(result.stage_seconds.schedule)
      << ", \"refine\": " << exact(result.stage_seconds.refine)
      << ", \"place\": " << exact(result.stage_seconds.place)
+     << ", \"grid_build\": " << exact(result.stage_seconds.grid_build)
      << ", \"route\": " << exact(result.stage_seconds.route)
      << ", \"retime\": " << exact(result.stage_seconds.retime)
      << "}, \"stats\": {\"completion_time\": "
@@ -538,6 +549,14 @@ std::string synthesis_result_to_json(const SynthesisResult& result) {
      << ", \"binding_probes\": " << result.sched_stats.binding_probes
      << ", \"case1_bindings\": " << result.sched_stats.case1_bindings
      << ", \"case2_bindings\": " << result.sched_stats.case2_bindings
+     // Only the four aggregate fixpoint counters are spilled; per-round
+     // details (FlowStats::round_details) are per-job telemetry and are
+     // not worth the cache bytes.
+     << "}, \"flow_stats\": {\"rounds\": " << result.flow_stats.rounds
+     << ", \"transports_rerouted\": "
+     << result.flow_stats.transports_rerouted
+     << ", \"transports_reused\": " << result.flow_stats.transports_reused
+     << ", \"cells_evicted\": " << result.flow_stats.cells_evicted
      << "}, \"routing\": ";
   write_routing(os, result.routing);
   os << "}";
@@ -571,6 +590,11 @@ std::optional<SynthesisResult> synthesis_result_from_value(
   result.stage_seconds.place = get_num(*stages, "place", ok);
   result.stage_seconds.route = get_num(*stages, "route", ok);
   result.stage_seconds.retime = get_num(*stages, "retime", ok);
+  // grid_build was split out of the route span later; a local flag keeps
+  // spills written before the split loading with the stage at zero.
+  bool have_grid_build = true;
+  const double grid_build = get_num(*stages, "grid_build", have_grid_build);
+  if (have_grid_build) result.stage_seconds.grid_build = grid_build;
   const jsonio::Value* stats = root.find("stats");
   if (!stats) return std::nullopt;
   result.stats.completion_time = get_num(*stats, "completion_time", ok);
@@ -618,6 +642,19 @@ std::optional<SynthesisResult> synthesis_result_from_value(
     result.sched_stats.binding_probes = u64("binding_probes");
     result.sched_stats.case1_bindings = u64("case1_bindings");
     result.sched_stats.case2_bindings = u64("case2_bindings");
+  }
+  // flow_stats is likewise optional for spills written before the
+  // incremental fixpoint existed (counters default to zero; per-round
+  // details are never spilled).
+  if (const jsonio::Value* fs = root.find("flow_stats");
+      fs && fs->kind == jsonio::Value::Kind::kObject) {
+    auto u64 = [&](const char* key) {
+      return static_cast<std::uint64_t>(get_num(*fs, key, ok));
+    };
+    result.flow_stats.rounds = u64("rounds");
+    result.flow_stats.transports_rerouted = u64("transports_rerouted");
+    result.flow_stats.transports_reused = u64("transports_reused");
+    result.flow_stats.cells_evicted = u64("cells_evicted");
   }
   const jsonio::Value* schedule = root.find("schedule");
   const jsonio::Value* placement = root.find("placement");

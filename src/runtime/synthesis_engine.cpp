@@ -132,6 +132,7 @@ JobOutcome SynthesisEngine::execute(const SynthesisJob& job) {
   outcome.wall_seconds = seconds_since(t0);
   telemetry_.record_stage_times(outcome.result.stage_seconds);
   telemetry_.record_route_stats(outcome.result.routing.stats);
+  telemetry_.record_flow_stats(outcome.result.flow_stats);
   telemetry_.record_place_stats(outcome.result.place_stats);
   telemetry_.record_sched_stats(outcome.result.sched_stats);
   telemetry_.record_synthesis_seconds(outcome.wall_seconds);
@@ -161,6 +162,7 @@ std::string SynthesisEngine::telemetry_json(
        << ", \"stages\": {\"schedule\": " << number(st.schedule)
        << ", \"refine\": " << number(st.refine)
        << ", \"place\": " << number(st.place)
+       << ", \"grid_build\": " << number(st.grid_build)
        << ", \"route\": " << number(st.route)
        << ", \"retime\": " << number(st.retime) << "}"
        << ", \"routing\": {\"tasks_routed\": "
@@ -173,7 +175,16 @@ std::string SynthesisEngine::telemetry_json(
        << ", \"postponement_steps\": "
        << outcome.result.routing.stats.postponement_steps
        << ", \"distance_fields_built\": "
-       << outcome.result.routing.stats.distance_fields_built << "}"
+       << outcome.result.routing.stats.distance_fields_built
+       << ", \"fixpoints_capped\": "
+       << outcome.result.routing.stats.fixpoints_capped << "}"
+       << ", \"flow\": {\"rounds\": " << outcome.result.flow_stats.rounds
+       << ", \"transports_rerouted\": "
+       << outcome.result.flow_stats.transports_rerouted
+       << ", \"transports_reused\": "
+       << outcome.result.flow_stats.transports_reused
+       << ", \"cells_evicted\": "
+       << outcome.result.flow_stats.cells_evicted << "}"
        << ", \"placement\": {\"proposals\": "
        << outcome.result.place_stats.proposals
        << ", \"accepts\": " << outcome.result.place_stats.accepts

@@ -19,6 +19,7 @@ void Telemetry::record_stage_times(const StageTimes& stages) {
   add(stage_schedule_, stages.schedule);
   add(stage_refine_, stages.refine);
   add(stage_place_, stages.place);
+  add(stage_grid_build_, stages.grid_build);
   add(stage_route_, stages.route);
   add(stage_retime_, stages.retime);
 }
@@ -30,6 +31,14 @@ void Telemetry::record_route_stats(const RouteStats& stats) {
   route_feasibility_rejections_.fetch_add(stats.feasibility_rejections);
   route_postponement_steps_.fetch_add(stats.postponement_steps);
   route_distance_fields_built_.fetch_add(stats.distance_fields_built);
+  route_fixpoints_capped_.fetch_add(stats.fixpoints_capped);
+}
+
+void Telemetry::record_flow_stats(const FlowStats& stats) {
+  flow_rounds_.fetch_add(stats.rounds);
+  flow_transports_rerouted_.fetch_add(stats.transports_rerouted);
+  flow_transports_reused_.fetch_add(stats.transports_reused);
+  flow_cells_evicted_.fetch_add(stats.cells_evicted);
 }
 
 void Telemetry::record_place_stats(const PlaceStats& stats) {
@@ -61,6 +70,7 @@ Telemetry::Snapshot Telemetry::snapshot() const {
   s.stage_seconds.schedule = stage_schedule_.load();
   s.stage_seconds.refine = stage_refine_.load();
   s.stage_seconds.place = stage_place_.load();
+  s.stage_seconds.grid_build = stage_grid_build_.load();
   s.stage_seconds.route = stage_route_.load();
   s.stage_seconds.retime = stage_retime_.load();
   s.synthesis_seconds = synthesis_seconds_.load();
@@ -77,6 +87,11 @@ Telemetry::Snapshot Telemetry::snapshot() const {
   s.routing.feasibility_rejections = route_feasibility_rejections_.load();
   s.routing.postponement_steps = route_postponement_steps_.load();
   s.routing.distance_fields_built = route_distance_fields_built_.load();
+  s.routing.fixpoints_capped = route_fixpoints_capped_.load();
+  s.flow.rounds = flow_rounds_.load();
+  s.flow.transports_rerouted = flow_transports_rerouted_.load();
+  s.flow.transports_reused = flow_transports_reused_.load();
+  s.flow.cells_evicted = flow_cells_evicted_.load();
   s.placement.proposals = place_proposals_.load();
   s.placement.accepts = place_accepts_.load();
   s.placement.delta_evals = place_delta_evals_.load();
@@ -95,6 +110,7 @@ void Telemetry::reset() {
   stage_schedule_.store(0.0);
   stage_refine_.store(0.0);
   stage_place_.store(0.0);
+  stage_grid_build_.store(0.0);
   stage_route_.store(0.0);
   stage_retime_.store(0.0);
   synthesis_seconds_.store(0.0);
@@ -111,6 +127,11 @@ void Telemetry::reset() {
   route_feasibility_rejections_.store(0);
   route_postponement_steps_.store(0);
   route_distance_fields_built_.store(0);
+  route_fixpoints_capped_.store(0);
+  flow_rounds_.store(0);
+  flow_transports_rerouted_.store(0);
+  flow_transports_reused_.store(0);
+  flow_cells_evicted_.store(0);
   place_proposals_.store(0);
   place_accepts_.store(0);
   place_delta_evals_.store(0);
@@ -129,6 +150,7 @@ std::string Telemetry::to_json(const Snapshot& s) {
   os << "{\"stages\": {\"schedule\": " << number(s.stage_seconds.schedule)
      << ", \"refine\": " << number(s.stage_seconds.refine)
      << ", \"place\": " << number(s.stage_seconds.place)
+     << ", \"grid_build\": " << number(s.stage_seconds.grid_build)
      << ", \"route\": " << number(s.stage_seconds.route)
      << ", \"retime\": " << number(s.stage_seconds.retime)
      << ", \"total\": " << number(s.stage_seconds.total())
@@ -144,6 +166,11 @@ std::string Telemetry::to_json(const Snapshot& s) {
      << ", \"feasibility_rejections\": " << s.routing.feasibility_rejections
      << ", \"postponement_steps\": " << s.routing.postponement_steps
      << ", \"distance_fields_built\": " << s.routing.distance_fields_built
+     << ", \"fixpoints_capped\": " << s.routing.fixpoints_capped
+     << "}, \"flow\": {\"rounds\": " << s.flow.rounds
+     << ", \"transports_rerouted\": " << s.flow.transports_rerouted
+     << ", \"transports_reused\": " << s.flow.transports_reused
+     << ", \"cells_evicted\": " << s.flow.cells_evicted
      << "}, \"placement\": {\"proposals\": " << s.placement.proposals
      << ", \"accepts\": " << s.placement.accepts
      << ", \"delta_evals\": " << s.placement.delta_evals

@@ -55,6 +55,9 @@ class Telemetry {
     std::uint64_t max_queue_depth = 0;
     double synthesis_seconds = 0.0;  ///< summed job wall time (cache misses)
     RouteStats routing;              ///< summed router counters (cache misses)
+    /// Summed route–retime fixpoint reuse counters (cache misses). Only the
+    /// four aggregate counters are tracked; per-round details stay per-job.
+    FlowStats flow;
     PlaceStats placement;            ///< summed placer counters (cache misses)
     SchedStats scheduling;           ///< summed scheduler counters (cache misses)
   };
@@ -77,6 +80,10 @@ class Telemetry {
 
   /// Folds one completed job's router counters into the aggregate.
   void record_route_stats(const RouteStats& stats);
+
+  /// Folds one completed job's route–retime fixpoint reuse counters into
+  /// the aggregate (rounds, re-routed / replayed transports, evictions).
+  void record_flow_stats(const FlowStats& stats);
 
   /// Folds one completed job's placer counters into the aggregate.
   void record_place_stats(const PlaceStats& stats);
@@ -110,6 +117,7 @@ class Telemetry {
   std::atomic<double> stage_schedule_{0.0};
   std::atomic<double> stage_refine_{0.0};
   std::atomic<double> stage_place_{0.0};
+  std::atomic<double> stage_grid_build_{0.0};
   std::atomic<double> stage_route_{0.0};
   std::atomic<double> stage_retime_{0.0};
   std::atomic<double> synthesis_seconds_{0.0};
@@ -126,6 +134,11 @@ class Telemetry {
   std::atomic<std::uint64_t> route_feasibility_rejections_{0};
   std::atomic<std::uint64_t> route_postponement_steps_{0};
   std::atomic<std::uint64_t> route_distance_fields_built_{0};
+  std::atomic<std::uint64_t> route_fixpoints_capped_{0};
+  std::atomic<std::uint64_t> flow_rounds_{0};
+  std::atomic<std::uint64_t> flow_transports_rerouted_{0};
+  std::atomic<std::uint64_t> flow_transports_reused_{0};
+  std::atomic<std::uint64_t> flow_cells_evicted_{0};
   std::atomic<std::uint64_t> place_proposals_{0};
   std::atomic<std::uint64_t> place_accepts_{0};
   std::atomic<std::uint64_t> place_delta_evals_{0};
