@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <memory>
 
+#include "route/parallel_router.hpp"
 #include "schedule/retiming.hpp"
 #include "util/logging.hpp"
 
@@ -27,6 +29,7 @@ void fold_round(FlowStats* flow, const FlowRound& round) {
   flow->transports_rerouted += round.transports_rerouted;
   flow->transports_reused += round.transports_reused;
   flow->cells_evicted += round.cells_evicted;
+  flow->parallel += round.parallel;
   flow->round_details.push_back(round);
 }
 
@@ -43,17 +46,24 @@ RoutingResult route_until_consistent(
   RouteStats stats_total;
 
   const auto build_start = Clock::now();
-  IncrementalRouter router(chip, allocation, placement, wash_model,
-                           router_options);
+  // The parallel router is pure execution policy: it commits, provably,
+  // exactly what the serial sweep commits (see parallel_router.hpp), so
+  // choosing it cannot change the result — only the wall time.
+  const bool parallel = router_options.route_threads > 1 &&
+                        static_cast<bool>(router_options.route_executor);
+  std::unique_ptr<IncrementalRouter> router =
+      parallel ? std::make_unique<ParallelRouter>(chip, allocation, placement,
+                                                  wash_model, router_options)
+               : std::make_unique<IncrementalRouter>(
+                     chip, allocation, placement, wash_model, router_options);
   stages.grid_build += seconds_since(build_start);
 
   for (int round_index = 0;; ++round_index) {
-    if (checkpoint) checkpoint("route");
     FlowRound round;
     double reset_seconds = 0.0;
     const auto route_start = Clock::now();
     RoutingResult routing =
-        router.route_round(schedule, &round, &reset_seconds);
+        router->route_round(schedule, &round, &reset_seconds, checkpoint);
     stages.route += seconds_since(route_start) - reset_seconds;
     stages.grid_build += reset_seconds;
     fold_round(flow, round);
@@ -78,12 +88,11 @@ RoutingResult route_until_consistent(
       apply_transport_delays(schedule, graph, routing.delays);
       stages.retime += seconds_since(retime_start);
 
-      if (checkpoint) checkpoint("route");
       FlowRound final_round;
       double final_reset = 0.0;
       const auto final_start = Clock::now();
       RoutingResult final_routing =
-          router.route_round(schedule, &final_round, &final_reset);
+          router->route_round(schedule, &final_round, &final_reset, checkpoint);
       stages.route += seconds_since(final_start) - final_reset;
       stages.grid_build += final_reset;
       fold_round(flow, final_round);

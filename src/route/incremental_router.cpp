@@ -26,9 +26,23 @@ const std::vector<Point>& IncrementalRouter::ports(ComponentId id) {
   return ports_cache_[i];
 }
 
+RouteTask IncrementalRouter::make_route_task(int idx,
+                                             const TransportTask& transport) {
+  RouteTask task;
+  task.transport_id = idx;
+  task.from = transport.from;
+  task.to = transport.to;
+  task.fluid = transport.fluid;
+  task.start = transport.departure;
+  task.transport_time = transport.transport_time;
+  task.cache_dwell = std::max(0.0, transport.consume - transport.arrival());
+  return task;
+}
+
 RoutingResult IncrementalRouter::route_round(const Schedule& schedule,
                                              FlowRound* round,
-                                             double* reset_seconds) {
+                                             double* reset_seconds,
+                                             const Checkpoint& checkpoint) {
   using Clock = std::chrono::steady_clock;
   RoutingResult result;
   result.delays.assign(schedule.transports.size(), 0.0);
@@ -46,6 +60,36 @@ RoutingResult IncrementalRouter::route_round(const Schedule& schedule,
   }
   const bool all_dirty = (round_number_ == 0);
   ++round_number_;
+
+  const std::vector<int> order =
+      route_transport_order(grid_, schedule, options_);
+  execute_round(schedule, order, all_dirty, result, round, checkpoint);
+  prev_order_ = order;
+  return result;
+}
+
+void IncrementalRouter::execute_round(const Schedule& schedule,
+                                      const std::vector<int>& order,
+                                      bool all_dirty, RoutingResult& result,
+                                      FlowRound* round,
+                                      const Checkpoint& checkpoint) {
+  commit_sweep(schedule, order, all_dirty, result, round, checkpoint);
+}
+
+bool IncrementalRouter::take_speculative(std::size_t /*position*/,
+                                         const RouteTask& /*task*/,
+                                         std::vector<Point>& /*path*/,
+                                         FlowRound* /*round*/) {
+  return false;
+}
+
+void IncrementalRouter::note_position(std::size_t /*frontier*/) {}
+
+void IncrementalRouter::commit_sweep(const Schedule& schedule,
+                                     const std::vector<int>& order,
+                                     bool all_dirty, RoutingResult& result,
+                                     FlowRound* round,
+                                     const Checkpoint& checkpoint) {
   // While `verbatim` holds, this round has replayed the previous round
   // position-for-position, so the grid state is bitwise the state each
   // task searched last round and a timing-clean task replays with no
@@ -54,22 +98,13 @@ RoutingResult IncrementalRouter::route_round(const Schedule& schedule,
   bool verbatim = !all_dirty;
 
   const int cache_cells = grid_.spec().cache_segment_cells;
-  const std::vector<int> order =
-      route_transport_order(grid_, schedule, options_);
 
   for (std::size_t position = 0; position < order.size(); ++position) {
+    if (checkpoint) checkpoint("route");
     const int idx = order[position];
     const TransportTask& transport =
         schedule.transports[static_cast<std::size_t>(idx)];
-    RouteTask task;
-    task.transport_id = idx;
-    task.from = transport.from;
-    task.to = transport.to;
-    task.fluid = transport.fluid;
-    task.start = transport.departure;
-    task.transport_time = transport.transport_time;
-    task.cache_dwell =
-        std::max(0.0, transport.consume - transport.arrival());
+    const RouteTask task = make_route_task(idx, transport);
 
     const std::vector<Point>& sources = ports(task.from);
     const std::vector<Point>& targets =
@@ -166,6 +201,7 @@ RoutingResult IncrementalRouter::route_round(const Schedule& schedule,
       rec.transport_time = transport.transport_time;
       rec.cache_dwell = task.cache_dwell;
       if (round) ++round->transports_reused;
+      note_position(position + 1);
       continue;
     }
 
@@ -176,32 +212,50 @@ RoutingResult IncrementalRouter::route_round(const Schedule& schedule,
     }
     core_.count_task_routed();
 
-    core_.set_probe_log(&probe_buffer_);
     std::vector<Point> path;
     double start = task.start;
     double delay = 0.0;
+    // A verified speculation hands over both the path and (through
+    // probe_buffer_) the read-set of the snapshot search that produced
+    // it — the same two artifacts a fresh search yields, so the commit
+    // tail below is shared.
+    const bool speculative = take_speculative(position, task, path, round);
 
     if (options_.conflict_aware) {
-      for (int attempt = 0;; ++attempt) {
-        // Keep only the final attempt's read-set: earlier attempts
-        // searched windows the retimed schedule will never ask for.
+      if (!speculative) {
+        core_.set_probe_log(&probe_buffer_);
+        for (int attempt = 0;; ++attempt) {
+          // Keep only the final attempt's read-set: earlier attempts
+          // searched windows the retimed schedule will never ask for.
+          probe_buffer_.clear();
+          path = core_.find_path(start);
+          if (!path.empty()) break;
+          if (attempt >= options_.max_postpone_steps) {
+            throw RoutingError(
+                "unroutable transport task (after postponing)");
+          }
+          start += options_.postpone_step;
+          delay += options_.postpone_step;
+          core_.count_postponement_step();
+        }
+        core_.set_probe_log(nullptr);
+        if (delay > 0.0) ++result.conflict_postponements;
+      }
+      // Speculative: every probe of the snapshot search re-verified
+      // against the committed state, so the first attempt at this very
+      // start would have succeeded — delay stays 0 by construction.
+    } else {
+      if (!speculative) {
+        core_.set_probe_log(&probe_buffer_);
         probe_buffer_.clear();
         path = core_.find_path(start);
-        if (!path.empty()) break;
-        if (attempt >= options_.max_postpone_steps) {
-          throw RoutingError("unroutable transport task (after postponing)");
+        core_.set_probe_log(nullptr);
+        if (path.empty()) {
+          throw RoutingError("unroutable transport task (spatially blocked)");
         }
-        start += options_.postpone_step;
-        delay += options_.postpone_step;
-        core_.count_postponement_step();
       }
-      if (delay > 0.0) ++result.conflict_postponements;
-    } else {
-      probe_buffer_.clear();
-      path = core_.find_path(start);
-      if (path.empty()) {
-        throw RoutingError("unroutable transport task (spatially blocked)");
-      }
+      // The search was purely spatial either way; postponement against
+      // the committed occupancy is always resolved here, serially.
       const double feasible = core_.earliest_feasible_start(path, start);
       if (feasible > start) {
         delay = feasible - start;
@@ -210,7 +264,6 @@ RoutingResult IncrementalRouter::route_round(const Schedule& schedule,
       }
     }
 
-    core_.set_probe_log(nullptr);
     const double flush = core_.flush_duration(path);
     core_.occupy(path, start);
 
@@ -224,18 +277,20 @@ RoutingResult IncrementalRouter::route_round(const Schedule& schedule,
     }
     rec.start = start;
     rec.wash_duration = flush;
-    // Copy rather than swap (the swap would walk off with the scratch
-    // buffer's capacity, forcing the next task's recording to re-grow
-    // its log through repeated reallocations), placing the infeasible
-    // probes first: conflicts freed by retiming are the likeliest
-    // verdicts to flip, so a failing verification aborts early.
-    rec.footprint.clear();
-    rec.footprint.reserve(probe_buffer_.size());
-    for (const RouterCore::Probe& p : probe_buffer_) {
-      if (!p.feasible) rec.footprint.push_back(p);
-    }
-    for (const RouterCore::Probe& p : probe_buffer_) {
-      if (p.feasible) rec.footprint.push_back(p);
+    // Swap the read-set into the record and recycle the record's old
+    // footprint storage as the next scratch buffer — steady state
+    // records without allocating. Infeasible probes go first: conflicts
+    // freed by retiming are the likeliest verdicts to flip, so a failing
+    // verification aborts early. (std::partition is unstable, but probe
+    // order within a group is unobservable: verification is a pure
+    // conjunction.)
+    rec.footprint.swap(probe_buffer_);
+    std::partition(rec.footprint.begin(), rec.footprint.end(),
+                   [](const RouterCore::Probe& p) { return !p.feasible; });
+    probe_buffer_.clear();
+    probe_high_water_ = std::max(probe_high_water_, rec.footprint.size());
+    if (probe_buffer_.capacity() < probe_high_water_) {
+      probe_buffer_.reserve(probe_high_water_);
     }
 
     RoutedPath routed;
@@ -251,9 +306,8 @@ RoutingResult IncrementalRouter::route_round(const Schedule& schedule,
     result.total_wash_time += flush;
     result.delays[static_cast<std::size_t>(idx)] = delay;
     result.paths.push_back(std::move(routed));
+    note_position(position + 1);
   }
-  prev_order_ = order;
-  return result;
 }
 
 }  // namespace fbmb

@@ -1,0 +1,177 @@
+#include "route/parallel_router.hpp"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+namespace fbmb {
+
+ParallelRouter::ParallelRouter(const ChipSpec& chip,
+                               const Allocation& allocation,
+                               const Placement& placement,
+                               const WashModel& wash_model,
+                               const RouterOptions& options)
+    : IncrementalRouter(chip, allocation, placement, wash_model, options),
+      threads_(std::max(1, options.route_threads)),
+      executor_(options.route_executor),
+      snapshot_(chip, allocation, placement) {
+  const int workers = threads_ - 1;
+  worker_stats_.resize(static_cast<std::size_t>(std::max(0, workers)));
+  worker_speculated_.assign(worker_stats_.size(), 0);
+  worker_cores_.reserve(worker_stats_.size());
+  for (std::size_t w = 0; w < worker_stats_.size(); ++w) {
+    // Each worker owns a full flat-array workspace over the shared
+    // snapshot; worker_stats_ is sized above and never resized, so the
+    // sink pointers stay valid.
+    worker_cores_.push_back(std::make_unique<RouterCore>(
+        snapshot_, wash_model_, options_, &worker_stats_[w]));
+  }
+  // Pre-warm the shared port cache: it is filled lazily on first use,
+  // which would race once workers read it concurrently.
+  for (std::size_t c = 0; c < ports_cache_.size(); ++c) {
+    ports(ComponentId{static_cast<int>(c)});
+  }
+}
+
+void ParallelRouter::execute_round(const Schedule& schedule,
+                                   const std::vector<int>& order,
+                                   bool all_dirty, RoutingResult& result,
+                                   FlowRound* round,
+                                   const Checkpoint& checkpoint) {
+  const std::size_t n = order.size();
+  if (worker_cores_.empty() || !executor_ || n == 0) {
+    commit_sweep(schedule, order, all_dirty, result, round, checkpoint);
+    return;
+  }
+
+  while (spec_.size() < n) spec_.emplace_back();
+  for (std::size_t i = 0; i < n; ++i) {
+    spec_[i].ready.store(false, std::memory_order_relaxed);
+    spec_[i].path.clear();
+    spec_[i].probes.clear();
+  }
+  claim_.store(0, std::memory_order_relaxed);
+  commit_hint_.store(0, std::memory_order_relaxed);
+  abort_.store(false, std::memory_order_relaxed);
+  std::fill(worker_speculated_.begin(), worker_speculated_.end(), 0);
+  for (RouteStats& stats : worker_stats_) stats = RouteStats{};
+  active_ = true;
+
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(1 + worker_cores_.size());
+  tasks.push_back([&] {
+    try {
+      commit_sweep(schedule, order, all_dirty, result, round, checkpoint);
+      abort_.store(true, std::memory_order_release);
+    } catch (...) {
+      // Cancellation (or a routing error): stop the workers within one
+      // search, then let the executor rethrow after the join.
+      abort_.store(true, std::memory_order_release);
+      throw;
+    }
+  });
+  for (std::size_t w = 0; w < worker_cores_.size(); ++w) {
+    tasks.push_back([this, w, &schedule, &order] {
+      speculate(w, schedule, order);
+    });
+  }
+  executor_(tasks);
+  active_ = false;
+
+  // The executor joins every task before returning, so the workers'
+  // counters are safe to fold. Worker search effort lands in the same
+  // telemetry-only stats as the committer's (total work performed,
+  // including discarded speculations); the identity checks deliberately
+  // ignore stats.
+  for (std::size_t w = 0; w < worker_cores_.size(); ++w) {
+    result.stats += worker_stats_[w];
+    if (round) round->parallel.speculated += worker_speculated_[w];
+  }
+}
+
+void ParallelRouter::speculate(std::size_t worker, const Schedule& schedule,
+                               const std::vector<int>& order) {
+  RouterCore& core = *worker_cores_[worker];
+  const std::size_t n = order.size();
+  for (;;) {
+    if (abort_.load(std::memory_order_acquire)) return;
+    const std::size_t position = claim_.fetch_add(1);
+    if (position >= n) return;
+    Speculation& sp = spec_[position];
+    if (position < commit_hint_.load(std::memory_order_acquire)) {
+      // Already committed (a clean replay the committer passed without
+      // consulting the slot); nobody will ever wait on it.
+      sp.ready.store(true, std::memory_order_release);
+      continue;
+    }
+    const int idx = order[position];
+    const RouteTask task = make_route_task(
+        idx, schedule.transports[static_cast<std::size_t>(idx)]);
+    const std::vector<Point>& sources = ports(task.from);
+    const std::vector<Point>& targets =
+        task.from == task.to ? sources : ports(task.to);
+    if (sources.empty() || targets.empty()) {
+      // Leave the slot empty; the committer's own sweep raises the
+      // RoutingError deterministically.
+      sp.ready.store(true, std::memory_order_release);
+      continue;
+    }
+    core.begin_task(task, sources, targets,
+                    task.from == task.to ? task.from : task.to);
+    sp.probes.clear();
+    core.set_probe_log(&sp.probes);
+    sp.path = core.find_path(task.start);
+    core.set_probe_log(nullptr);
+    ++worker_speculated_[worker];
+    sp.ready.store(true, std::memory_order_release);
+  }
+}
+
+bool ParallelRouter::claim_or_steal(std::size_t position) {
+  std::size_t claimed = claim_.load(std::memory_order_acquire);
+  while (claimed <= position) {
+    // Steal: jump the cursor past this position so no worker ever
+    // claims it (or the skipped ones before it, which are all already
+    // committed — the committer is the only caller and commits in
+    // order).
+    if (claim_.compare_exchange_weak(claimed, position + 1)) return false;
+  }
+  return true;
+}
+
+bool ParallelRouter::take_speculative(std::size_t position,
+                                      const RouteTask& task,
+                                      std::vector<Point>& path,
+                                      FlowRound* round) {
+  if (!active_) return false;
+  if (!claim_or_steal(position)) {
+    if (round) ++round->parallel.fallback_searches;
+    return false;
+  }
+  Speculation& sp = spec_[position];
+  // The owning worker is running (it claimed the position), so this
+  // spin is bounded by one snapshot search.
+  while (!sp.ready.load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
+  if (sp.path.empty()) {
+    // The snapshot search found no path (it would need postponement) or
+    // the worker skipped; run the full serial pipeline.
+    if (round) ++round->parallel.fallback_searches;
+    return false;
+  }
+  if (!core_.probes_hold(sp.probes, task.start)) {
+    if (round) ++round->parallel.mispredicted;
+    return false;
+  }
+  path = std::move(sp.path);
+  probe_buffer_.swap(sp.probes);
+  if (round) ++round->parallel.committed;
+  return true;
+}
+
+void ParallelRouter::note_position(std::size_t frontier) {
+  if (active_) commit_hint_.store(frontier, std::memory_order_release);
+}
+
+}  // namespace fbmb

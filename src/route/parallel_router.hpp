@@ -1,0 +1,116 @@
+// Speculative parallel transport routing with deterministic commit-order
+// replay.
+//
+// A routing round's A* searches are its dominant cost, yet the sweep in
+// IncrementalRouter commits them strictly serially: the search for the
+// task at position k must see exactly the grid contributions of positions
+// < k. ParallelRouter keeps that contract — and therefore bit-identical
+// output at every thread count — while running the searches concurrently:
+//
+//   Speculate.  Workers claim positions from a shared atomic cursor and
+//   run the search for each claimed task against an immutable *snapshot*
+//   of the grid at round start (the post-reset state every round begins
+//   from), on a private RouterCore each, recording the same per-cell
+//   probes (weight + Eq. 5 feasibility verdict) the incremental router
+//   records for cross-round reuse.
+//
+//   Commit.  A single committer walks positions in the canonical route
+//   order, exactly like the serial sweep. At a dirty position it first
+//   consults the speculation slot: the speculative path is replayed iff
+//   every probe of the snapshot search re-verifies against the
+//   *committed* state — the same footprint-verification argument as
+//   cross-round reuse (route/incremental_router.hpp): if every cell the
+//   search read holds the same weight and verdict, the search re-run
+//   against the committed grid would unfold identically and return the
+//   same path with no postponement. On any mismatch (or when no usable
+//   speculation exists) the committer falls back to an inline serial
+//   search against the committed grid. Either way the committed result
+//   is, provably, the serial sweep's result — determinism holds by
+//   construction, not by scheduling luck; only the telemetry counters
+//   (speculation outcomes, worker search effort) vary run to run.
+//
+//   Steal.  When the committer reaches a position no worker has claimed
+//   yet, it advances the claim cursor past it (CAS) so no worker ever
+//   will, and searches inline. This makes the protocol deadlock-free
+//   even when the executor runs every task on the calling thread (a
+//   saturated pool degrades to the serial sweep), because the committer
+//   never waits on a slot whose worker has not already claimed it — and
+//   a claiming worker is by definition running.
+//
+// Workers check the abort flag between claims, so a cancellation thrown
+// by the committer's per-transport checkpoint stops the whole round
+// within one search.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "route/incremental_router.hpp"
+
+namespace fbmb {
+
+class ParallelRouter final : public IncrementalRouter {
+ public:
+  /// Reads options.route_threads (total concurrency: one committer plus
+  /// route_threads - 1 speculation workers) and options.route_executor.
+  /// With route_threads <= 1 or no executor every round degenerates to
+  /// the serial sweep.
+  ParallelRouter(const ChipSpec& chip, const Allocation& allocation,
+                 const Placement& placement, const WashModel& wash_model,
+                 const RouterOptions& options);
+
+ protected:
+  void execute_round(const Schedule& schedule, const std::vector<int>& order,
+                     bool all_dirty, RoutingResult& result, FlowRound* round,
+                     const Checkpoint& checkpoint) override;
+
+  bool take_speculative(std::size_t position, const RouteTask& task,
+                        std::vector<Point>& path, FlowRound* round) override;
+
+  void note_position(std::size_t frontier) override;
+
+ private:
+  /// One position's speculation slot. `ready` is the only cross-thread
+  /// handshake: the claiming worker publishes path+probes with a release
+  /// store, the committer spins with acquire loads. Slots live in a
+  /// deque because atomics are immovable.
+  struct Speculation {
+    std::atomic<bool> ready{false};
+    std::vector<Point> path;
+    std::vector<RouterCore::Probe> probes;
+  };
+
+  void speculate(std::size_t worker, const Schedule& schedule,
+                 const std::vector<int>& order);
+
+  /// True when a worker owns `position` (its ready flag will be set);
+  /// false when the committer stole it and must search inline.
+  bool claim_or_steal(std::size_t position);
+
+  const int threads_;
+  const std::function<void(std::vector<std::function<void()>>&)> executor_;
+  /// The grid state every round starts from (reset_transients() restores
+  /// exactly the freshly-built state). Never mutated after construction;
+  /// shared read-only by all worker cores.
+  RoutingGrid snapshot_;
+  std::vector<RouteStats> worker_stats_;
+  std::vector<std::uint64_t> worker_speculated_;
+  std::vector<std::unique_ptr<RouterCore>> worker_cores_;
+
+  std::deque<Speculation> spec_;
+  /// Next unclaimed position; workers fetch_add to claim, the committer
+  /// CASes past unclaimed positions to steal them.
+  std::atomic<std::size_t> claim_{0};
+  /// Commit frontier (positions below it are committed); lets workers
+  /// skip speculating on positions the committer already passed.
+  std::atomic<std::size_t> commit_hint_{0};
+  std::atomic<bool> abort_{false};
+  bool active_ = false;  ///< touched only outside the parallel region
+};
+
+}  // namespace fbmb

@@ -81,12 +81,31 @@ JobOutcome SynthesisEngine::execute(const SynthesisJob& job) {
 
   SynthesisOptions options = job.options;
   if (job.cancel) {
-    // Thread the token through the flow's stage boundaries: a fired token
-    // aborts the flow with SynthesisCancelled at the next checkpoint.
+    // Thread the token through the flow's checkpoints (stage boundaries
+    // and, inside routing rounds, every transport): a fired token aborts
+    // the flow with SynthesisCancelled at the next checkpoint. Compose
+    // with — rather than replace — any checkpoint the job already
+    // carries, so callers can observe checkpoint traffic (tests, custom
+    // instrumentation) without losing cancellation.
     std::shared_ptr<CancellationToken> token = job.cancel;
-    options.checkpoint = [token](const char* stage) {
+    std::function<void(const char*)> inner = std::move(options.checkpoint);
+    options.checkpoint = [token, inner](const char* stage) {
       token->throw_if_cancelled(stage);
+      if (inner) inner(stage);
     };
+  }
+  if (options.router.route_threads <= 1 && options_.route_threads > 1) {
+    options.router.route_threads = static_cast<int>(options_.route_threads);
+  }
+  if (options.router.route_threads > 1 && !options.router.route_executor) {
+    // Route speculation workers share the engine pool; parallel_invoke's
+    // caller participation keeps a saturated pool deadlock-free (the
+    // committer then steals every position and the round degrades to the
+    // serial sweep).
+    options.router.route_executor =
+        [this](std::vector<std::function<void()>>& tasks) {
+          parallel_invoke(pool_, tasks);
+        };
   }
   if (options_.parallel_restarts) {
     // Restart tasks fork deterministic sub-seeds and fill indexed slots,
@@ -148,6 +167,7 @@ std::string SynthesisEngine::telemetry_json(
      << ", \"cache_size\": " << cache_.size()
      << ", \"parallel_restarts\": "
      << (options_.parallel_restarts ? "true" : "false")
+     << ", \"route_threads\": " << options_.route_threads
      << ", \"max_queue_depth\": " << pool_.max_queue_depth()
      << "},\n  \"totals\": " << Telemetry::to_json(telemetry_.snapshot())
      << ",\n  \"jobs\": [";
@@ -184,7 +204,15 @@ std::string SynthesisEngine::telemetry_json(
        << ", \"transports_reused\": "
        << outcome.result.flow_stats.transports_reused
        << ", \"cells_evicted\": "
-       << outcome.result.flow_stats.cells_evicted << "}"
+       << outcome.result.flow_stats.cells_evicted
+       << ", \"speculated\": "
+       << outcome.result.flow_stats.parallel.speculated
+       << ", \"spec_committed\": "
+       << outcome.result.flow_stats.parallel.committed
+       << ", \"spec_mispredicted\": "
+       << outcome.result.flow_stats.parallel.mispredicted
+       << ", \"spec_fallbacks\": "
+       << outcome.result.flow_stats.parallel.fallback_searches << "}"
        << ", \"placement\": {\"proposals\": "
        << outcome.result.place_stats.proposals
        << ", \"accepts\": " << outcome.result.place_stats.accepts

@@ -169,6 +169,16 @@ std::optional<SynthesizeRequest> parse_synthesize_request(
     }
     req.stall_ms = static_cast<int>(value);
   }
+  if (!read_number(*root, "threads", value, present, error)) {
+    return std::nullopt;
+  }
+  if (present) {
+    if (value < 1.0 || value > 64.0) {
+      error = "\"threads\" must be in [1, 64]";
+      return std::nullopt;
+    }
+    req.threads = static_cast<int>(value);
+  }
   return req;
 }
 

@@ -1,0 +1,305 @@
+// Speculative parallel transport routing vs the serial reference.
+//
+// The parallel router is determinism-by-construction: workers search
+// transports against an immutable snapshot of round-start grid state,
+// and a single committer walks the canonical serial order, replaying a
+// speculative path only when its recorded probe footprint re-verifies
+// against the actually committed grid — otherwise it searches inline,
+// exactly like the serial router. So the final (Schedule, RoutingResult)
+// pair must be bit-identical to route_until_consistent_reference at any
+// thread count, on any host, under any executor schedule.
+//
+// The tests here pin all three protocol paths deterministically (no
+// reliance on OS scheduling or core count):
+//   * the real ThreadPool executor across a {1, 2, 4, 8} thread matrix,
+//   * a workers-first executor that forces every dirty task through the
+//     speculation verify (commit or mispredict, never steal), and
+//   * a committer-first executor that forces the steal/fallback path
+//     for every task (workers arrive after the round is over).
+// Plus the ParallelFlowStats spill round-trip and its backward compat.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench_suite/benchmarks.hpp"
+#include "core/flow_core.hpp"
+#include "place/constructive_placer.hpp"
+#include "place/sa_placer.hpp"
+#include "runtime/result_io.hpp"
+#include "runtime/thread_pool.hpp"
+#include "schedule/list_scheduler.hpp"
+
+namespace fbmb {
+namespace {
+
+using Executor = std::function<void(std::vector<std::function<void()>>&)>;
+
+struct Scenario {
+  std::string label;
+  Allocation alloc;
+  Schedule schedule;
+  ChipSpec chip;
+  Placement placement;
+  RouterOptions router;
+};
+
+Scenario prepare_dcsa(const Benchmark& bench) {
+  Scenario s;
+  s.label = bench.name + "/dcsa";
+  s.alloc = Allocation(bench.allocation);
+  SchedulerOptions sched;
+  sched.policy = BindingPolicy::kDcsa;
+  sched.refine_storage = true;
+  s.schedule = schedule_bioassay(bench.graph, s.alloc, bench.wash, sched);
+  s.chip = derive_grid(ChipSpec{}, allocation_area(s.alloc, 1));
+  PlacerOptions placer;
+  placer.restarts = 1;
+  s.placement =
+      place_components(s.alloc, s.schedule, bench.wash, s.chip, placer);
+  return s;
+}
+
+Scenario prepare_baseline(const Benchmark& bench) {
+  Scenario s;
+  s.label = bench.name + "/baseline";
+  s.alloc = Allocation(bench.allocation);
+  SchedulerOptions sched;
+  sched.policy = BindingPolicy::kBaseline;
+  sched.refine_storage = false;
+  s.schedule = schedule_bioassay(bench.graph, s.alloc, bench.wash, sched);
+  s.chip = derive_grid(ChipSpec{}, allocation_area(s.alloc, 1));
+  s.placement = place_components_baseline(s.alloc, s.schedule, s.chip,
+                                          ConstructivePlacerOptions{});
+  s.router.wash_aware_weights = false;
+  return s;
+}
+
+struct ParallelRun {
+  Schedule schedule;
+  RoutingResult routing;
+  FlowStats flow;
+};
+
+ParallelRun run_parallel(const Scenario& s, const Benchmark& bench,
+                         int threads, const Executor& executor) {
+  ParallelRun run;
+  run.schedule = s.schedule;
+  RouterOptions router = s.router;
+  router.route_threads = threads;
+  router.route_executor = executor;
+  StageTimes stages;
+  run.routing = route_until_consistent(run.schedule, bench.graph, s.alloc,
+                                       s.chip, s.placement, bench.wash,
+                                       router, stages, {}, &run.flow);
+  return run;
+}
+
+ParallelRun run_reference(const Scenario& s, const Benchmark& bench) {
+  ParallelRun run;
+  run.schedule = s.schedule;
+  StageTimes stages;
+  run.routing = route_until_consistent_reference(
+      run.schedule, bench.graph, s.alloc, s.chip, s.placement, bench.wash,
+      s.router, stages, {});
+  return run;
+}
+
+/// Runs the workers to completion before the committer ever starts: every
+/// position gets speculated, so the committer's dirty tasks all take the
+/// verify path (commit or mispredict), never the steal path.
+void workers_first(std::vector<std::function<void()>>& tasks) {
+  for (std::size_t i = 1; i < tasks.size(); ++i) tasks[i]();
+  tasks[0]();
+}
+
+/// Runs the committer to completion first: it steals every position
+/// (serial fallback for each dirty task) and the late workers see the
+/// abort flag / exhausted claim cursor and exit without searching.
+void committer_first(std::vector<std::function<void()>>& tasks) {
+  for (std::size_t i = 0; i < tasks.size(); ++i) tasks[i]();
+}
+
+void expect_identical(const ParallelRun& got, const ParallelRun& want,
+                      const std::string& what) {
+  EXPECT_TRUE(identical_schedules(got.schedule, want.schedule)) << what;
+  EXPECT_TRUE(identical_routing(got.routing, want.routing)) << what;
+}
+
+/// The real executor at every thread count in the matrix: bit-identical
+/// output regardless of how the OS interleaves workers and committer.
+void run_thread_matrix(const Benchmark& bench) {
+  ThreadPool pool(8);
+  const Executor executor =
+      [&pool](std::vector<std::function<void()>>& tasks) {
+        parallel_invoke(pool, tasks);
+      };
+  for (const Scenario& s : {prepare_dcsa(bench), prepare_baseline(bench)}) {
+    SCOPED_TRACE(s.label);
+    const ParallelRun reference = run_reference(s, bench);
+    for (int threads : {1, 2, 4, 8}) {
+      const ParallelRun par = run_parallel(s, bench, threads, executor);
+      expect_identical(par, reference,
+                       s.label + " @ " + std::to_string(threads) +
+                           " threads");
+      const ParallelFlowStats& spec = par.flow.parallel;
+      if (threads == 1) {
+        // route_threads <= 1 selects the serial router: no speculation
+        // machinery at all.
+        EXPECT_EQ(spec.speculated, 0u);
+        EXPECT_EQ(spec.committed + spec.mispredicted +
+                      spec.fallback_searches,
+                  0u);
+      } else {
+        // Every dirty task resolves exactly one way.
+        EXPECT_EQ(spec.committed + spec.mispredicted +
+                      spec.fallback_searches,
+                  par.flow.transports_rerouted);
+      }
+    }
+  }
+}
+
+TEST(ParallelRoute, PcrThreadMatrix) { run_thread_matrix(make_pcr()); }
+TEST(ParallelRoute, IvdThreadMatrix) { run_thread_matrix(make_ivd()); }
+TEST(ParallelRoute, CpaThreadMatrix) { run_thread_matrix(make_cpa()); }
+TEST(ParallelRoute, Synthetic1ThreadMatrix) {
+  run_thread_matrix(make_synthetic(1));
+}
+TEST(ParallelRoute, Synthetic2ThreadMatrix) {
+  run_thread_matrix(make_synthetic(2));
+}
+TEST(ParallelRoute, Synthetic3ThreadMatrix) {
+  run_thread_matrix(make_synthetic(3));
+}
+TEST(ParallelRoute, Synthetic4ThreadMatrix) {
+  run_thread_matrix(make_synthetic(4));
+}
+
+/// Workers-first forces full speculation: every position is searched
+/// against the snapshot before the committer runs, so every dirty task
+/// is resolved by the probe verify — committed when the footprint still
+/// holds on the committed grid, mispredicted when an earlier commit
+/// invalidated it. Both outcomes must occur somewhere in the matrix, or
+/// the verify is vacuous (always-true would be unsound, always-false
+/// would never parallelize).
+TEST(ParallelRoute, WorkersFirstCommitsAndMispredicts) {
+  std::uint64_t committed = 0;
+  std::uint64_t mispredicted = 0;
+  for (const auto& bench : paper_benchmarks()) {
+    for (const Scenario& s :
+         {prepare_dcsa(bench), prepare_baseline(bench)}) {
+      SCOPED_TRACE(s.label);
+      const ParallelRun par = run_parallel(s, bench, 4, workers_first);
+      expect_identical(par, run_reference(s, bench), s.label);
+      const ParallelFlowStats& spec = par.flow.parallel;
+      // Nothing is ever stolen and the snapshot search never comes up
+      // empty on these benchmarks, so there are no serial fallbacks …
+      EXPECT_EQ(spec.fallback_searches, 0u);
+      // … every position (clean and dirty alike) was speculated …
+      EXPECT_EQ(spec.speculated, par.flow.transports_rerouted +
+                                     par.flow.transports_reused);
+      // … and every dirty task consumed its speculation.
+      EXPECT_EQ(spec.committed + spec.mispredicted,
+                par.flow.transports_rerouted);
+      committed += spec.committed;
+      mispredicted += spec.mispredicted;
+    }
+  }
+  EXPECT_GT(committed, 0u);
+  EXPECT_GT(mispredicted, 0u);
+}
+
+/// Committer-first forces the steal path everywhere: the committer
+/// reaches each position before any worker claimed it, steals it, and
+/// searches inline. The late workers must exit without work, and the
+/// result is still bit-identical (this is also what a saturated pool or
+/// a single-core host degrades to).
+TEST(ParallelRoute, CommitterFirstStealsEverything) {
+  for (const auto& bench : {make_pcr(), make_synthetic(2)}) {
+    for (const Scenario& s :
+         {prepare_dcsa(bench), prepare_baseline(bench)}) {
+      SCOPED_TRACE(s.label);
+      const ParallelRun par = run_parallel(s, bench, 4, committer_first);
+      expect_identical(par, run_reference(s, bench), s.label);
+      const ParallelFlowStats& spec = par.flow.parallel;
+      EXPECT_EQ(spec.speculated, 0u);
+      EXPECT_EQ(spec.committed, 0u);
+      EXPECT_EQ(spec.mispredicted, 0u);
+      EXPECT_EQ(spec.fallback_searches, par.flow.transports_rerouted);
+    }
+  }
+}
+
+/// route_threads == 1 must never invoke the executor (the serial router
+/// is selected), and route_threads > 1 without an executor stays serial
+/// too — the knob alone cannot change behavior.
+TEST(ParallelRoute, SerialConfigurationsNeverInvokeExecutor) {
+  const Benchmark bench = make_pcr();
+  const Scenario s = prepare_dcsa(bench);
+  bool invoked = false;
+  const Executor tattletale =
+      [&invoked](std::vector<std::function<void()>>& tasks) {
+        invoked = true;
+        for (auto& task : tasks) task();
+      };
+  const ParallelRun one = run_parallel(s, bench, 1, tattletale);
+  EXPECT_FALSE(invoked);
+  expect_identical(one, run_reference(s, bench), "1 thread");
+
+  Schedule schedule = s.schedule;
+  RouterOptions router = s.router;
+  router.route_threads = 4;  // no executor attached
+  StageTimes stages;
+  FlowStats flow;
+  route_until_consistent(schedule, bench.graph, s.alloc, s.chip,
+                         s.placement, bench.wash, router, stages, {}, &flow);
+  EXPECT_EQ(flow.parallel.speculated, 0u);
+  EXPECT_EQ(flow.parallel.fallback_searches, 0u);
+}
+
+/// The speculation counters survive the result-cache spill, and spills
+/// written before the counters existed load as zeros.
+TEST(ParallelRoute, ParallelFlowStatsSpillRoundTrip) {
+  SynthesisResult result;
+  result.completion_time = 42.0;
+  result.flow_stats.rounds = 3;
+  result.flow_stats.transports_rerouted = 17;
+  result.flow_stats.parallel.speculated = 29;
+  result.flow_stats.parallel.committed = 11;
+  result.flow_stats.parallel.mispredicted = 4;
+  result.flow_stats.parallel.fallback_searches = 2;
+
+  const std::string json = synthesis_result_to_json(result);
+  const auto back = synthesis_result_from_json(json);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->flow_stats.rounds, 3u);
+  EXPECT_EQ(back->flow_stats.transports_rerouted, 17u);
+  EXPECT_EQ(back->flow_stats.parallel.speculated, 29u);
+  EXPECT_EQ(back->flow_stats.parallel.committed, 11u);
+  EXPECT_EQ(back->flow_stats.parallel.mispredicted, 4u);
+  EXPECT_EQ(back->flow_stats.parallel.fallback_searches, 2u);
+
+  // A spill written before the parallel counters existed: strip the four
+  // keys from the flow_stats object and load again.
+  std::string legacy = json;
+  const std::size_t at = legacy.find(", \"speculated\"");
+  ASSERT_NE(at, std::string::npos);
+  const std::size_t end = legacy.find("}", at);
+  ASSERT_NE(end, std::string::npos);
+  legacy.erase(at, end - at);
+  ASSERT_EQ(legacy.find("speculated"), std::string::npos);
+  const auto old = synthesis_result_from_json(legacy);
+  ASSERT_TRUE(old.has_value());
+  EXPECT_EQ(old->flow_stats.rounds, 3u);
+  EXPECT_EQ(old->flow_stats.transports_rerouted, 17u);
+  EXPECT_EQ(old->flow_stats.parallel.speculated, 0u);
+  EXPECT_EQ(old->flow_stats.parallel.committed, 0u);
+  EXPECT_EQ(old->flow_stats.parallel.mispredicted, 0u);
+  EXPECT_EQ(old->flow_stats.parallel.fallback_searches, 0u);
+}
+
+}  // namespace
+}  // namespace fbmb

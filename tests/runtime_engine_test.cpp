@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "bench_suite/benchmarks.hpp"
@@ -286,6 +288,48 @@ TEST(SynthesisEngine, TokenIsExecutionPolicyNotIdentity) {
   EXPECT_FALSE(first.cache_hit);
   EXPECT_TRUE(second.cache_hit);
   EXPECT_EQ(first.fingerprint.to_hex(), second.fingerprint.to_hex());
+}
+
+TEST(SynthesisEngine, MidRoundCancelAbortsAtNextTransportAndIsNotCached) {
+  // Cancellation granularity is per transport, not per routing round:
+  // the engine composes the token check with the job's own checkpoint,
+  // and the router fires that checkpoint before every transport it
+  // routes. Cancel the token from inside the 5th "route" checkpoint —
+  // mid round 0 of Synthetic2's 27-transport fixpoint — and the flow
+  // must stop at the 6th, not finish the round (round-level checkpoints
+  // would fire at most once per round and never reach a 5-call count
+  // inside one round).
+  const Benchmark bench = make_synthetic(2);
+  SynthesisJob job;
+  job.name = bench.name;
+  job.graph = bench.graph;
+  job.allocation = Allocation(bench.allocation);
+  job.wash = bench.wash;
+  job.cancel = std::make_shared<CancellationToken>();
+
+  auto route_calls = std::make_shared<std::atomic<int>>(0);
+  job.options.checkpoint = [route_calls,
+                            cancel = job.cancel](const char* stage) {
+    if (std::string(stage) == "route" &&
+        route_calls->fetch_add(1) + 1 == 5) {
+      cancel->cancel();
+    }
+  };
+
+  SynthesisEngine engine;
+  try {
+    engine.run_job(job);
+    FAIL() << "expected SynthesisCancelled";
+  } catch (const SynthesisCancelled& e) {
+    EXPECT_EQ(e.reason(), SynthesisCancelled::Reason::kCancelled);
+    EXPECT_EQ(e.stage(), "route");
+  }
+  // The engine checks the token before invoking the inner checkpoint, so
+  // the abort lands on the very next transport: exactly 5 inner calls,
+  // far short of the 27 transports of round 0.
+  EXPECT_EQ(route_calls->load(), 5);
+  // An aborted flow must never warm the cache.
+  EXPECT_EQ(engine.cache().size(), 0u);
 }
 
 }  // namespace
