@@ -40,11 +40,22 @@ answered with an expected status, the warm payload must be bit-identical
 to the direct library result, the client-side p99 latency must stay under
 --service-p99 ms, and the overall error rate under --service-error-rate.
 
+Also gates the differential-fuzzing report written by fuzz_synth
+(--json-out) when given via --fuzz FILE: scenarios must actually have
+executed, and the run must report zero core-vs-reference divergences
+and ok == true.
+
+Every malformed report (unreadable file, invalid JSON, wrong shape)
+fails the gate with a readable `file: reason` line — never a traceback.
+--self-test exercises exactly that contract against synthetic reports.
+
 Usage:
   scripts/check_bench.py BENCH_route.json BENCH_place.json \
       BENCH_sched.json --min-speedup 1.0 --geomean BENCH_sched.json=1.5
   scripts/check_bench.py --flow BENCH_flow.json --flow-geomean-multi 1.2
   scripts/check_bench.py --service BENCH_service.json --service-p99 2000
+  scripts/check_bench.py --fuzz BENCH_fuzz.json
+  scripts/check_bench.py --self-test
 """
 
 import argparse
@@ -54,20 +65,38 @@ import os
 import sys
 
 
+def load_json(path):
+    """Loads a report file, turning every failure mode into a ValueError
+    whose message names the file and the reason (no tracebacks: a broken
+    artifact should fail the gate readably, like a regression would)."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except OSError as exc:
+        raise ValueError(f"cannot read file: {exc.strerror or exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"not valid JSON: {exc}") from exc
+    if not isinstance(doc, dict):
+        raise ValueError("top level is not a JSON object")
+    return doc
+
+
 def load_benchmarks(path):
-    with open(path, "r", encoding="utf-8") as fh:
-        doc = json.load(fh)
+    doc = load_json(path)
     benchmarks = doc.get("benchmarks")
     if not isinstance(benchmarks, list) or not benchmarks:
-        raise ValueError(f"{path}: no 'benchmarks' array")
-    return benchmarks
+        raise ValueError("no 'benchmarks' array")
+    return doc, benchmarks
 
 
 def check_file(path, min_speedup, geomean_floor):
     errors = []
-    benchmarks = load_benchmarks(path)
+    _, benchmarks = load_benchmarks(path)
     speedups = []
-    for entry in benchmarks:
+    for i, entry in enumerate(benchmarks):
+        if not isinstance(entry, dict):
+            errors.append(f"{path}: benchmarks[{i}] is not an object")
+            continue
         name = entry.get("name", "<unnamed>")
         if entry.get("identical") is not True:
             errors.append(
@@ -97,16 +126,15 @@ def check_file(path, min_speedup, geomean_floor):
 
 def check_flow(path, min_speedup, geomean_multi_floor, parallel_geomean_floor):
     errors = []
-    with open(path, "r", encoding="utf-8") as fh:
-        doc = json.load(fh)
-    benchmarks = doc.get("benchmarks")
-    if not isinstance(benchmarks, list) or not benchmarks:
-        raise ValueError(f"{path}: no 'benchmarks' array")
+    doc, benchmarks = load_benchmarks(path)
 
     reused = 0
     rerouted = 0
     has_parallel = isinstance(doc.get("parallel"), dict)
-    for entry in benchmarks:
+    for i, entry in enumerate(benchmarks):
+        if not isinstance(entry, dict):
+            errors.append(f"{path}: benchmarks[{i}] is not an object")
+            continue
         name = entry.get("name", "<unnamed>")
         if entry.get("identical") is not True:
             errors.append(
@@ -146,8 +174,18 @@ def check_flow(path, min_speedup, geomean_multi_floor, parallel_geomean_floor):
                 "(flow.rounds_detail)"
             )
             continue
-        reused += flow.get("transports_reused", 0)
-        rerouted += flow.get("transports_rerouted", 0)
+        for field in ("transports_reused", "transports_rerouted"):
+            count = flow.get(field, 0)
+            if not isinstance(count, int) or count < 0:
+                errors.append(
+                    f"{path}: {name}: flow.{field} is not a count "
+                    f"({count!r})"
+                )
+                count = 0
+            if field == "transports_reused":
+                reused += count
+            else:
+                rerouted += count
 
     geomean_multi = doc.get("geomean_speedup_multi_round")
     multi_count = doc.get("multi_round_configs")
@@ -167,6 +205,12 @@ def check_flow(path, min_speedup, geomean_multi_floor, parallel_geomean_floor):
         par = doc["parallel"]
         par_threads = par.get("threads", 0)
         host_cores = par.get("host_cores", 0)
+        if not isinstance(par_threads, int) or not isinstance(host_cores, int):
+            errors.append(
+                f"{path}: parallel.threads / parallel.host_cores are not "
+                f"integers ({par_threads!r}, {host_cores!r})"
+            )
+            par_threads = host_cores = 0
         par_geomean_multi = par.get("geomean_speedup_multi_round")
         if not isinstance(par_geomean_multi, (int, float)):
             errors.append(
@@ -208,11 +252,10 @@ def check_flow(path, min_speedup, geomean_multi_floor, parallel_geomean_floor):
 
 def check_service(path, p99_ceiling_ms, error_rate_ceiling):
     errors = []
-    with open(path, "r", encoding="utf-8") as fh:
-        doc = json.load(fh)
+    doc = load_json(path)
     service = doc.get("service")
     if not isinstance(service, dict):
-        raise ValueError(f"{path}: no 'service' object")
+        raise ValueError("no 'service' object")
 
     total = service.get("total", 0)
     if not isinstance(total, int) or total <= 0:
@@ -235,7 +278,8 @@ def check_service(path, p99_ceiling_ms, error_rate_ceiling):
             f"direct library result (identical="
             f"{service.get('identical')!r})"
         )
-    p99 = service.get("latency_ms", {}).get("p99")
+    latency = service.get("latency_ms")
+    p99 = latency.get("p99") if isinstance(latency, dict) else None
     if not isinstance(p99, (int, float)):
         errors.append(f"{path}: missing latency_ms.p99")
     elif p99 > p99_ceiling_ms:
@@ -257,6 +301,179 @@ def check_service(path, p99_ceiling_ms, error_rate_ceiling):
     )
     print(summary)
     return errors
+
+
+def check_fuzz(path):
+    """Gates a fuzz_synth --json-out report: the differential fuzzer must
+    have executed scenarios and found zero core-vs-reference divergences."""
+    errors = []
+    doc = load_json(path)
+    fuzz = doc.get("fuzz")
+    if not isinstance(fuzz, dict):
+        raise ValueError("no 'fuzz' object")
+
+    executed = fuzz.get("executed")
+    if not isinstance(executed, int) or executed <= 0:
+        errors.append(
+            f"{path}: no scenarios were executed (executed={executed!r})"
+        )
+    divergences = fuzz.get("divergences")
+    if divergences != 0:
+        errors.append(
+            f"{path}: {divergences!r} core-vs-reference divergence(s) — "
+            "see the shrunk repros the fuzzer wrote alongside this report"
+        )
+    if fuzz.get("ok") is not True:
+        errors.append(
+            f"{path}: fuzz run did not report ok "
+            f"(ok={fuzz.get('ok')!r})"
+        )
+    print(
+        f"{path}: seed {fuzz.get('seed')}, {executed} scenario(s) "
+        f"({fuzz.get('corpus_replayed', 0)} from corpus), "
+        f"divergences={divergences}, "
+        f"degenerate={fuzz.get('degenerate')}, "
+        f"non_converged={fuzz.get('non_converged')}, "
+        f"{fuzz.get('operations')} ops / {fuzz.get('transports')} "
+        f"transports in {fuzz.get('elapsed_s')} s"
+    )
+    return errors
+
+
+def self_test():
+    """Unit checks for the gate itself: every malformed-report shape must
+    produce a readable `file: reason` line and exit 1 — never a traceback —
+    and well-formed reports must pass. Run from CI before the real gates."""
+    import contextlib
+    import io
+    import tempfile
+
+    good_perf = {
+        "benchmarks": [{"name": "b1", "identical": True, "speedup": 2.0}]
+    }
+    good_fuzz = {
+        "fuzz": {
+            "seed": 1,
+            "requested": 10,
+            "executed": 10,
+            "corpus_replayed": 4,
+            "divergences": 0,
+            "degenerate": 0,
+            "non_converged": 2,
+            "operations": 170,
+            "transports": 120,
+            "max_fixpoint_rounds": 21,
+            "elapsed_s": 0.05,
+            "ok": True,
+        }
+    }
+
+    def diverged_fuzz():
+        doc = json.loads(json.dumps(good_fuzz))
+        doc["fuzz"]["divergences"] = 2
+        doc["fuzz"]["ok"] = False
+        return doc
+
+    failures = []
+
+    def case(name, content, extra_argv, want_exit, want_text=()):
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "report.json")
+            if content is not None:
+                with open(path, "w", encoding="utf-8") as fh:
+                    if isinstance(content, str):
+                        fh.write(content)
+                    else:
+                        json.dump(content, fh)
+            out = io.StringIO()
+            try:
+                with contextlib.redirect_stdout(out), contextlib.redirect_stderr(
+                    out
+                ):
+                    code = main([path] if not extra_argv else extra_argv + [path])
+            except SystemExit as exc:  # argparse errors
+                code = exc.code
+            except Exception as exc:  # noqa: BLE001 — a traceback IS the bug
+                failures.append(
+                    f"{name}: raised {type(exc).__name__}: {exc} "
+                    "(gates must report malformed files, not crash)"
+                )
+                return
+            text = out.getvalue()
+            if code != want_exit:
+                failures.append(
+                    f"{name}: exit {code}, want {want_exit}; output:\n{text}"
+                )
+            for needle in want_text:
+                if needle not in text:
+                    failures.append(
+                        f"{name}: output is missing {needle!r}; got:\n{text}"
+                    )
+
+    case("good perf file passes", good_perf, [], 0, ["all benchmark gates"])
+    case("missing file is readable", None, [], 1, ["cannot read file"])
+    case("invalid JSON is readable", "{not json", [], 1, ["not valid JSON"])
+    case("non-object top level", "[1, 2]", [], 1, ["not a JSON object"])
+    case(
+        "non-object benchmark entry",
+        {"benchmarks": ["oops"]},
+        [],
+        1,
+        ["benchmarks[0] is not an object"],
+    )
+    case(
+        "slow benchmark fails the floor",
+        {"benchmarks": [{"name": "b", "identical": True, "speedup": 0.5}]},
+        [],
+        1,
+        ["below the 1.00x floor"],
+    )
+    case(
+        "service latency_ms not an object",
+        {
+            "service": {
+                "total": 5,
+                "unanswered": 0,
+                "unexpected_status": 0,
+                "identical": True,
+                "latency_ms": "fast",
+                "error_rate": 0.0,
+            }
+        },
+        ["--service"],
+        1,
+        ["missing latency_ms.p99"],
+    )
+    case("good fuzz report passes", good_fuzz, ["--fuzz"], 0, ["divergences=0"])
+    case(
+        "fuzz divergence fails",
+        diverged_fuzz(),
+        ["--fuzz"],
+        1,
+        ["divergence(s)", "did not report ok"],
+    )
+    case(
+        "fuzz report without fuzz object",
+        {"benchmarks": []},
+        ["--fuzz"],
+        1,
+        ["no 'fuzz' object"],
+    )
+    case(
+        "fuzz report with zero executed",
+        {"fuzz": {"executed": 0, "divergences": 0, "ok": True}},
+        ["--fuzz"],
+        1,
+        ["no scenarios were executed"],
+    )
+
+    if failures:
+        print(f"{len(failures)} self-test failure(s):", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("check_bench.py self-test: all cases passed")
+    return 0
 
 
 def main(argv=None):
@@ -331,10 +548,27 @@ def main(argv=None):
         default=0.0,
         help="service error-rate ceiling (default: 0.0)",
     )
+    parser.add_argument(
+        "--fuzz",
+        action="append",
+        default=[],
+        metavar="FILE",
+        help="BENCH_fuzz.json differential-fuzzing report(s) to gate "
+        "(fuzz_synth --json-out); repeatable",
+    )
+    parser.add_argument(
+        "--self-test",
+        action="store_true",
+        help="run the gate's own unit checks against synthetic reports "
+        "and exit",
+    )
     args = parser.parse_args(argv)
-    if not args.files and not args.service and not args.flow:
+    if args.self_test:
+        return self_test()
+    if not args.files and not args.service and not args.flow and not args.fuzz:
         parser.error(
-            "nothing to check: give perf files, --flow, and/or --service"
+            "nothing to check: give perf files, --flow, --service, "
+            "and/or --fuzz"
         )
 
     geomean_floors = {}
@@ -385,6 +619,12 @@ def main(argv=None):
                     path, args.service_p99, args.service_error_rate
                 )
             )
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            all_errors.append(f"{path}: {exc}")
+
+    for path in args.fuzz:
+        try:
+            all_errors.extend(check_fuzz(path))
         except (OSError, ValueError, json.JSONDecodeError) as exc:
             all_errors.append(f"{path}: {exc}")
 

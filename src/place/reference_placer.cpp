@@ -114,9 +114,9 @@ Placement random_placement_reference(const Allocation& allocation,
   return packed_placement(allocation, spec);
 }
 
-/// Domain-separation tag ("SA_PLACE" in ASCII) XORed into the user seed
-/// before forking per-restart streams. Must stay equal to the core's tag.
-constexpr std::uint64_t kSeedDomain = 0x53415F504C414345ULL;
+/// Domain-separation tag XORed into the user seed before forking
+/// per-restart streams. Must stay equal to the core's tag.
+constexpr std::uint64_t kSeedDomain = seed_domain("SA_PLACE");
 
 /// Shared implementation: one polished SA run per restart. Returns
 /// (placement, energy) pairs in restart order.

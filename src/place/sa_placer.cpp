@@ -104,10 +104,10 @@ Placement random_placement(const Allocation& allocation,
 
 namespace {
 
-/// Domain-separation tag ("SA_PLACE" in ASCII) XORed into the user seed
-/// before forking per-restart streams, so another subsystem forking from
-/// the same seed draws unrelated randomness.
-constexpr std::uint64_t kSeedDomain = 0x53415F504C414345ULL;
+/// Domain-separation tag XORed into the user seed before forking
+/// per-restart streams, so another subsystem forking from the same seed
+/// draws unrelated randomness.
+constexpr std::uint64_t kSeedDomain = seed_domain("SA_PLACE");
 
 /// Shared implementation: one polished SA run per restart, each on its own
 /// PlacerCore (restarts may execute concurrently; cores share only const

@@ -46,6 +46,13 @@ void align_washes_to_departures(Schedule& schedule) {
         std::pair{task.producer.value, task.from.value}, task.departure);
     if (!inserted) it->second = std::max(it->second, task.departure);
   }
+  // Operation starts per component, sorted, for the rounding clamp below.
+  std::map<int, std::vector<double>> starts;
+  for (const auto& so : schedule.operations) {
+    if (so.op.valid()) starts[so.component.value].push_back(so.start);
+  }
+  for (auto& s : starts) std::sort(s.second.begin(), s.second.end());
+  constexpr double kAlignEps = 1e-9;
   for (auto& wash : schedule.component_washes) {
     const auto it =
         latest.find(std::pair{wash.residue_of.value, wash.component.value});
@@ -55,6 +62,19 @@ void align_washes_to_departures(Schedule& schedule) {
       const double duration = wash.duration();
       wash.start = vacate;
       wash.end = vacate + duration;
+      // Departure deadlines are computed as (next_start - wash_time), so
+      // re-adding the duration here can land one ulp past the operation
+      // the chamber must be clean for. Clamp that sub-epsilon excess to
+      // the next operation's start; genuine overlaps (> kAlignEps) are
+      // left intact for the validators and the simulator to flag.
+      const auto& comp_starts = starts[wash.component.value];
+      const auto next = std::lower_bound(comp_starts.begin(),
+                                         comp_starts.end(),
+                                         wash.start - kAlignEps);
+      if (next != comp_starts.end() && *next < wash.end &&
+          wash.end - *next <= kAlignEps) {
+        wash.end = *next;
+      }
     }
   }
 }

@@ -96,6 +96,19 @@ SimResult simulate_chip(const SequencingGraph& graph,
     events.push_back({wash.end, Kind::kWashEnd, static_cast<int>(w)});
   }
   std::sort(events.begin(), events.end());
+  // Snap times that differ by at most 1e-9 onto one representative before
+  // the kind tie-break decides their order. Times reached through
+  // different arithmetic chains (e.g. a wash deadline computed as
+  // next_start - wash_time, then re-added) can disagree by a few ulp;
+  // every other layer (schedule validator, retiming, the depart check
+  // below) treats such times as simultaneous, so the event order must
+  // too, or a wash "starts" one ulp before the operation it follows ends.
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    if (events[i].time - events[i - 1].time <= 1e-9) {
+      events[i].time = events[i - 1].time;
+    }
+  }
+  std::sort(events.begin(), events.end());
 
   // --- State -----------------------------------------------------------------
   std::vector<Chamber> chambers(allocation.size());

@@ -1,0 +1,187 @@
+#include "testgen/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "biochip/fluid.hpp"
+#include "place/sa_placer.hpp"
+#include "util/rng.hpp"
+
+namespace fbmb {
+
+namespace {
+
+constexpr std::uint64_t kSeedDomain = seed_domain("TESTGEN");
+
+/// The four reference diffusion classes plus two mid-range values; drawing
+/// from a small palette makes residue collisions (same fluid re-using a
+/// channel without a wash) reachable, which a pure log-uniform draw would
+/// almost never produce.
+constexpr double kPalette[] = {
+    diffusion::kSmallMolecule, 3e-6, diffusion::kProtein,
+    diffusion::kLargeComplex,  1e-7, diffusion::kCell,
+};
+
+ComponentType draw_type(Rng& rng) {
+  const std::uint64_t r = rng.bounded(10);
+  if (r < 5) return ComponentType::kMixer;
+  if (r < 7) return ComponentType::kHeater;
+  if (r < 9) return ComponentType::kDetector;
+  return ComponentType::kFilter;
+}
+
+double draw_diffusion(Rng& rng) {
+  if (rng.chance(0.15)) {
+    // Log-uniform over the anchored range: exercises the model's
+    // interpolation away from the palette points.
+    return 5e-8 * std::pow(10.0, rng.uniform() * 2.3);
+  }
+  return kPalette[rng.bounded(std::size(kPalette))];
+}
+
+}  // namespace
+
+Scenario generate_scenario(std::uint64_t seed, std::uint64_t index,
+                           const GeneratorOptions& options) {
+  Rng rng(fork_seed(seed ^ kSeedDomain, index));
+
+  Scenario s;
+  s.seed = seed;
+  s.name = "fuzz-s";
+  s.name += std::to_string(seed);
+  s.name += "-i";
+  s.name += std::to_string(index);
+
+  // ---- Graph: a layered DAG with mixed fan-in and share edges. ----
+  const int ops =
+      rng.uniform_int(options.min_operations, options.max_operations);
+  std::vector<int> layer_of;     // layer index per operation
+  std::vector<OperationId> ids;  // dense, insertion order == layer order
+  int layer = 0;
+  int produced = 0;
+  while (produced < ops) {
+    const int width = std::min(ops - produced, rng.uniform_int(1, 4));
+    for (int i = 0; i < width; ++i) {
+      const int id = produced + i;
+      const ComponentType type =
+          layer == 0 ? ComponentType::kMixer : draw_type(rng);
+      double duration = rng.uniform_int(1, 9);
+      if (rng.chance(0.25)) duration += 0.5;
+      std::string op_name("o");
+      op_name += std::to_string(id);
+      Fluid fluid{op_name + "_out", draw_diffusion(rng)};
+      ids.push_back(
+          s.graph.add_operation(op_name, type, duration, std::move(fluid)));
+      layer_of.push_back(layer);
+    }
+    produced += width;
+    ++layer;
+  }
+
+  // Every non-source operation draws one or two parents from strictly
+  // earlier layers (earlier layer => smaller id => acyclic by
+  // construction). Mixers take two inputs when available.
+  for (int id = 0; id < ops; ++id) {
+    if (layer_of[static_cast<std::size_t>(id)] == 0) continue;
+    // First id of this operation's layer bounds the parent pool.
+    int pool = 0;
+    while (layer_of[static_cast<std::size_t>(pool)] <
+           layer_of[static_cast<std::size_t>(id)]) {
+      ++pool;
+    }
+    const bool mixer = s.graph.operation(ids[static_cast<std::size_t>(id)])
+                           .type == ComponentType::kMixer;
+    const int fan_in = mixer && pool >= 2 ? rng.uniform_int(1, 2) : 1;
+    for (int k = 0; k < fan_in; ++k) {
+      const int parent =
+          static_cast<int>(rng.bounded(static_cast<std::uint64_t>(pool)));
+      s.graph.add_dependency(ids[static_cast<std::size_t>(parent)],
+                             ids[static_cast<std::size_t>(id)]);
+    }
+  }
+  // Fluid-share edges: extra consumers for random producers. These give
+  // producers multiple children, which is what drives channel storage,
+  // evictions, and Case-I in-place bindings.
+  const int share_attempts = static_cast<int>(
+      options.share_edge_rate * static_cast<double>(ops));
+  for (int k = 0; k < share_attempts; ++k) {
+    const int a = static_cast<int>(rng.bounded(static_cast<std::uint64_t>(ops)));
+    const int b = static_cast<int>(rng.bounded(static_cast<std::uint64_t>(ops)));
+    if (layer_of[static_cast<std::size_t>(a)] <
+        layer_of[static_cast<std::size_t>(b)]) {
+      s.graph.add_dependency(ids[static_cast<std::size_t>(a)],
+                             ids[static_cast<std::size_t>(b)]);
+    }
+  }
+
+  // ---- Allocation: at least one component per used type. ----
+  AllocationSpec spec;
+  for (const auto& op : s.graph.operations()) {
+    switch (op.type) {
+      case ComponentType::kMixer: spec.mixers = 1; break;
+      case ComponentType::kHeater: spec.heaters = 1; break;
+      case ComponentType::kFilter: spec.filters = 1; break;
+      case ComponentType::kDetector: spec.detectors = 1; break;
+    }
+  }
+  const auto grow = [&](int& count) {
+    if (count > 0) count += static_cast<int>(rng.bounded(3));
+  };
+  grow(spec.mixers);
+  grow(spec.heaters);
+  grow(spec.filters);
+  grow(spec.detectors);
+  s.allocation = spec;
+
+  // ---- Wash model: stock anchors or custom, sometimes with overrides. ----
+  if (rng.chance(options.custom_wash_rate)) {
+    const double t_fast = 0.1 + 0.4 * rng.uniform();
+    const double t_slow = t_fast + rng.uniform_int(2, 9);
+    s.wash = WashModel(1e-5, t_fast, 5e-8, t_slow);
+  }
+  if (rng.chance(options.custom_wash_rate)) {
+    // Pin an integer-second wash for one palette class, like the paper's
+    // worked examples do.
+    const double d = kPalette[rng.bounded(std::size(kPalette))];
+    s.wash.set_override(d, rng.uniform_int(1, 8));
+  }
+
+  // ---- Chip geometry. ----
+  s.chip.transport_time = rng.uniform_int(1, 3);
+  s.chip.initial_cell_weight = rng.uniform_int(5, 15);
+  s.chip.cache_segment_cells = rng.uniform_int(2, 4);
+  s.chip.component_spacing = 1;
+  if (rng.chance(options.fixed_grid_rate)) {
+    // Pin an explicit grid: the derived near-square footprint plus random
+    // slack, so the placement always fits but corridor widths vary.
+    const Allocation alloc(spec);
+    const ChipSpec derived = derive_grid(
+        s.chip, allocation_area(alloc, s.chip.component_spacing),
+        3.0 + 3.0 * rng.uniform());
+    s.chip.grid_width = derived.grid_width + rng.uniform_int(0, 4);
+    s.chip.grid_height = derived.grid_height + rng.uniform_int(0, 4);
+  }
+
+  // ---- Flow knobs. ----
+  s.knobs.policy =
+      rng.chance(0.5) ? BindingPolicy::kDcsa : BindingPolicy::kBaseline;
+  s.knobs.refine_storage = rng.chance(0.7);
+  s.knobs.wash_aware_weights = rng.chance(0.7);
+  // Conflict-oblivious routing resolves overlaps by postponement, which is
+  // what makes the route-retime fixpoint run multiple rounds; keep it
+  // common so the incremental/parallel machinery sees real work.
+  s.knobs.conflict_aware = rng.chance(0.6);
+  const std::uint64_t order = rng.bounded(3);
+  s.knobs.route_order = order == 0   ? RouteOrder::kStartTime
+                        : order == 1 ? RouteOrder::kLongestFirst
+                                     : RouteOrder::kId;
+  s.knobs.placer_seed = fork_seed(seed ^ kSeedDomain, ~index);
+  s.knobs.placer_restarts = rng.chance(0.2) ? 2 : 1;
+  s.knobs.sa_iterations = rng.uniform_int(10, 60);
+  return s;
+}
+
+}  // namespace fbmb

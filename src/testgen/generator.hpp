@@ -1,0 +1,45 @@
+// Seeded random-scenario generator for the differential fuzzing harness.
+//
+// Where bench_suite/synthetic.hpp grows paper-shaped benchmarks for the
+// experiments, this generator's goal is adversarial coverage: it varies
+// every input axis the synthesis flow has — graph shape (layer widths,
+// fan-in, fluid-share edges with multiple consumers per producer), fluid
+// diffusion coefficients (palette classes plus log-uniform draws), wash
+// models (custom anchors, pinned overrides), chip geometry (derived or
+// fixed grids, cache segment length, cell weights, t_c), allocations, and
+// flow knobs (both binding policies, wash-aware and oblivious routing,
+// conflict-aware search and postpone-retime, all route orders, SA depth).
+// Every scenario is valid by construction: the graph is acyclic with
+// positive durations and coefficients, every operation type has at least
+// one qualified component, and a fixed grid is always large enough to
+// place the allocation. Fully deterministic: generate_scenario(seed, i)
+// depends only on (seed, i), via fork_seed under the "TESTGEN" domain.
+
+#pragma once
+
+#include <cstdint>
+
+#include "testgen/scenario.hpp"
+
+namespace fbmb {
+
+struct GeneratorOptions {
+  int min_operations = 4;
+  int max_operations = 18;
+  /// Probability that an extra fluid-share edge is attempted per operation
+  /// pair sample (multiple consumers of one producer drive the channel
+  /// storage, eviction, and Case-I machinery).
+  double share_edge_rate = 0.35;
+  /// Probability the scenario pins a fixed chip grid instead of deriving
+  /// one from the allocation.
+  double fixed_grid_rate = 0.4;
+  /// Probability the wash model uses custom anchors / a pinned override.
+  double custom_wash_rate = 0.25;
+};
+
+/// Generates scenario `index` of master seed `seed`. Deterministic and
+/// collision-resistant across both arguments.
+Scenario generate_scenario(std::uint64_t seed, std::uint64_t index,
+                           const GeneratorOptions& options = {});
+
+}  // namespace fbmb

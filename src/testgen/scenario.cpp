@@ -1,0 +1,280 @@
+#include "testgen/scenario.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "graph/assay_parser.hpp"
+#include "util/strings.hpp"
+
+namespace fbmb {
+
+namespace {
+
+/// Shortest decimal form that round-trips the exact double through stod.
+std::string exact(double value) {
+  char buf[40];
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof buf, "%.*g", precision, value);
+    if (std::stod(buf) == value) return buf;
+  }
+  return buf;
+}
+
+const char* policy_keyword(BindingPolicy policy) {
+  return policy == BindingPolicy::kDcsa ? "dcsa" : "baseline";
+}
+
+const char* order_keyword(RouteOrder order) {
+  switch (order) {
+    case RouteOrder::kStartTime: return "start";
+    case RouteOrder::kLongestFirst: return "longest";
+    case RouteOrder::kId: return "id";
+  }
+  return "?";
+}
+
+std::vector<std::string> directive_tokens(const std::string& line) {
+  // A directive line is "# @key v1 v2 ..."; anything else is a plain
+  // comment (or assay content) and is ignored here.
+  std::istringstream is(line);
+  std::string token;
+  std::vector<std::string> out;
+  if (!(is >> token) || token != "#") return out;
+  if (!(is >> token) || token.size() < 2 || token[0] != '@') return out;
+  out.push_back(token.substr(1));
+  while (is >> token) out.push_back(token);
+  return out;
+}
+
+double to_double(const std::string& s, const std::string& key) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(s, &used);
+    if (used != s.size()) throw std::invalid_argument(s);
+    return v;
+  } catch (const std::exception&) {
+    throw AssayParseError(0, "directive @" + key + ": bad number '" + s +
+                                 "'");
+  }
+}
+
+int to_int(const std::string& s, const std::string& key) {
+  try {
+    std::size_t used = 0;
+    const int v = std::stoi(s, &used);
+    if (used != s.size()) throw std::invalid_argument(s);
+    return v;
+  } catch (const std::exception&) {
+    throw AssayParseError(0, "directive @" + key + ": bad integer '" + s +
+                                 "'");
+  }
+}
+
+std::uint64_t to_u64(const std::string& s, const std::string& key) {
+  try {
+    std::size_t used = 0;
+    const std::uint64_t v = std::stoull(s, &used);
+    if (used != s.size()) throw std::invalid_argument(s);
+    return v;
+  } catch (const std::exception&) {
+    throw AssayParseError(0, "directive @" + key + ": bad integer '" + s +
+                                 "'");
+  }
+}
+
+bool to_bool(const std::string& s, const std::string& key) {
+  if (s == "1" || s == "true") return true;
+  if (s == "0" || s == "false") return false;
+  throw AssayParseError(0, "directive @" + key + ": bad flag '" + s + "'");
+}
+
+void expect_args(const std::vector<std::string>& tokens, std::size_t n) {
+  if (tokens.size() != n + 1) {
+    throw AssayParseError(0, "directive @" + tokens[0] + ": expected " +
+                                 std::to_string(n) + " value(s)");
+  }
+}
+
+}  // namespace
+
+std::string write_scenario(const Scenario& scenario) {
+  std::ostringstream os;
+  os << "# msynth scenario v1\n";
+  if (!scenario.name.empty()) os << "# @name " << scenario.name << '\n';
+  if (scenario.seed != 0) os << "# @seed " << scenario.seed << '\n';
+
+  const ChipSpec& chip = scenario.chip;
+  os << "# @chip " << chip.grid_width << ' ' << chip.grid_height << '\n';
+  os << "# @chip_params " << exact(chip.cell_pitch_mm) << ' '
+     << exact(chip.transport_time) << ' ' << exact(chip.initial_cell_weight)
+     << ' ' << chip.component_spacing << ' ' << chip.cache_segment_cells
+     << '\n';
+
+  const auto anchors = scenario.wash.anchors();
+  os << "# @wash_anchors " << exact(anchors[0]) << ' ' << exact(anchors[1])
+     << ' ' << exact(anchors[2]) << ' ' << exact(anchors[3]) << '\n';
+  for (const auto& [d, seconds] : scenario.wash.overrides()) {
+    os << "# @wash_override " << exact(d) << ' ' << exact(seconds) << '\n';
+  }
+
+  const ScenarioKnobs& knobs = scenario.knobs;
+  os << "# @policy " << policy_keyword(knobs.policy) << '\n';
+  os << "# @refine_storage " << (knobs.refine_storage ? 1 : 0) << '\n';
+  os << "# @wash_aware " << (knobs.wash_aware_weights ? 1 : 0) << '\n';
+  os << "# @conflict_aware " << (knobs.conflict_aware ? 1 : 0) << '\n';
+  os << "# @route_order " << order_keyword(knobs.route_order) << '\n';
+  os << "# @placer " << knobs.placer_seed << ' ' << knobs.placer_restarts
+     << ' ' << knobs.sa_iterations << '\n';
+
+  // The assay body. Fluids are written as raw diffusion coefficients
+  // (d=...), never as wash= shorthand: wash= round-trips through the
+  // log-linear inverse model, which is lossy, while d= plus the
+  // @wash_override directives above reproduce the exact model.
+  for (const auto& op : scenario.graph.operations()) {
+    const char* type = op.type == ComponentType::kMixer     ? "mix"
+                       : op.type == ComponentType::kHeater  ? "heat"
+                       : op.type == ComponentType::kFilter  ? "filter"
+                                                            : "detect";
+    os << "op " << op.name << ' ' << type << ' ' << exact(op.duration)
+       << " d=" << exact(op.output.diffusion_coefficient) << '\n';
+  }
+  for (const auto& dep : scenario.graph.dependencies()) {
+    os << "dep " << scenario.graph.operation(dep.from).name << ' '
+       << scenario.graph.operation(dep.to).name << '\n';
+  }
+  os << "allocate " << scenario.allocation.mixers << ' '
+     << scenario.allocation.heaters << ' ' << scenario.allocation.filters
+     << ' ' << scenario.allocation.detectors << '\n';
+  return os.str();
+}
+
+Scenario parse_scenario(std::string_view text) {
+  // The assay body (graph + allocation) parses with the stock parser —
+  // directives are comments to it — then the directives are layered on.
+  ParsedAssay assay = parse_assay(text);
+
+  Scenario scenario;
+  scenario.graph = std::move(assay.graph);
+  scenario.allocation = assay.allocation;
+
+  std::array<double, 4> anchors{1e-5, 0.2, 5e-8, 6.0};
+  std::vector<std::pair<double, double>> overrides;
+
+  for (const std::string& line : split(text, '\n')) {
+    const auto tokens = directive_tokens(line);
+    if (tokens.empty()) continue;
+    const std::string& key = tokens[0];
+    if (key == "name") {
+      expect_args(tokens, 1);
+      scenario.name = tokens[1];
+    } else if (key == "seed") {
+      expect_args(tokens, 1);
+      scenario.seed = to_u64(tokens[1], key);
+    } else if (key == "chip") {
+      expect_args(tokens, 2);
+      scenario.chip.grid_width = to_int(tokens[1], key);
+      scenario.chip.grid_height = to_int(tokens[2], key);
+    } else if (key == "chip_params") {
+      expect_args(tokens, 5);
+      scenario.chip.cell_pitch_mm = to_double(tokens[1], key);
+      scenario.chip.transport_time = to_double(tokens[2], key);
+      scenario.chip.initial_cell_weight = to_double(tokens[3], key);
+      scenario.chip.component_spacing = to_int(tokens[4], key);
+      scenario.chip.cache_segment_cells = to_int(tokens[5], key);
+    } else if (key == "wash_anchors") {
+      expect_args(tokens, 4);
+      for (int i = 0; i < 4; ++i) {
+        anchors[static_cast<std::size_t>(i)] =
+            to_double(tokens[static_cast<std::size_t>(i) + 1], key);
+      }
+    } else if (key == "wash_override") {
+      expect_args(tokens, 2);
+      overrides.emplace_back(to_double(tokens[1], key),
+                             to_double(tokens[2], key));
+    } else if (key == "policy") {
+      expect_args(tokens, 1);
+      if (tokens[1] == "dcsa") {
+        scenario.knobs.policy = BindingPolicy::kDcsa;
+      } else if (tokens[1] == "baseline") {
+        scenario.knobs.policy = BindingPolicy::kBaseline;
+      } else {
+        throw AssayParseError(0, "directive @policy: unknown '" + tokens[1] +
+                                     "'");
+      }
+    } else if (key == "refine_storage") {
+      expect_args(tokens, 1);
+      scenario.knobs.refine_storage = to_bool(tokens[1], key);
+    } else if (key == "wash_aware") {
+      expect_args(tokens, 1);
+      scenario.knobs.wash_aware_weights = to_bool(tokens[1], key);
+    } else if (key == "conflict_aware") {
+      expect_args(tokens, 1);
+      scenario.knobs.conflict_aware = to_bool(tokens[1], key);
+    } else if (key == "route_order") {
+      expect_args(tokens, 1);
+      if (tokens[1] == "start") {
+        scenario.knobs.route_order = RouteOrder::kStartTime;
+      } else if (tokens[1] == "longest") {
+        scenario.knobs.route_order = RouteOrder::kLongestFirst;
+      } else if (tokens[1] == "id") {
+        scenario.knobs.route_order = RouteOrder::kId;
+      } else {
+        throw AssayParseError(0, "directive @route_order: unknown '" +
+                                     tokens[1] + "'");
+      }
+    } else if (key == "placer") {
+      expect_args(tokens, 3);
+      scenario.knobs.placer_seed = to_u64(tokens[1], key);
+      scenario.knobs.placer_restarts = to_int(tokens[2], key);
+      scenario.knobs.sa_iterations = to_int(tokens[3], key);
+    } else {
+      throw AssayParseError(0, "unknown scenario directive @" + key);
+    }
+  }
+
+  scenario.wash = WashModel(anchors[0], anchors[1], anchors[2], anchors[3]);
+  for (const auto& [d, seconds] : overrides) {
+    scenario.wash.set_override(d, seconds);
+  }
+  return scenario;
+}
+
+std::vector<std::pair<std::string, Scenario>> load_corpus(
+    const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> paths;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (entry.path().extension() == ".assay") {
+      paths.push_back(entry.path().string());
+    }
+  }
+  if (ec) {
+    throw std::runtime_error("load_corpus: cannot read '" + dir +
+                             "': " + ec.message());
+  }
+  std::sort(paths.begin(), paths.end());
+
+  std::vector<std::pair<std::string, Scenario>> corpus;
+  for (const std::string& path : paths) {
+    std::ifstream in(path);
+    if (!in) {
+      throw std::runtime_error("load_corpus: cannot open '" + path + "'");
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    try {
+      corpus.emplace_back(path, parse_scenario(text.str()));
+    } catch (const std::exception& e) {
+      throw std::runtime_error("load_corpus: " + path + ": " + e.what());
+    }
+  }
+  return corpus;
+}
+
+}  // namespace fbmb

@@ -1,0 +1,79 @@
+// Fuzzing scenarios: one self-contained synthesis input.
+//
+// A Scenario bundles everything the differential oracle needs to replay a
+// synthesis flow bit-for-bit: the sequencing graph, the component
+// allocation, the wash model (anchors + per-coefficient overrides), the
+// chip geometry, and the flow knobs (binding policy, router mode, placer
+// seed). Scenarios serialize to the plain-text assay format of
+// graph/assay_parser.hpp: the op/dep/allocate lines are a valid assay —
+// parse_assay accepts every corpus file as-is — and the scenario-level
+// settings ride in `# @key value ...` comment directives that the assay
+// parser skips. All doubles are written with 17 significant digits so a
+// parse(write(s)) round trip reproduces the exact same bits, which is what
+// makes a shrunk repro file a faithful regression test.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "biochip/chip_spec.hpp"
+#include "biochip/component_library.hpp"
+#include "biochip/wash_model.hpp"
+#include "graph/sequencing_graph.hpp"
+#include "route/router.hpp"
+#include "schedule/list_scheduler.hpp"
+
+namespace fbmb {
+
+/// Flow knobs a scenario pins. The oracle expands these into the
+/// SchedulerOptions / PlacerOptions / RouterOptions it hands the cores and
+/// their reference twins (both sides always get equal options).
+struct ScenarioKnobs {
+  BindingPolicy policy = BindingPolicy::kDcsa;
+  bool refine_storage = true;
+  bool wash_aware_weights = true;
+  bool conflict_aware = true;
+  RouteOrder route_order = RouteOrder::kStartTime;
+  std::uint64_t placer_seed = 1;
+  int placer_restarts = 1;
+  /// SA iterations per temperature level (SaOptions::iterations_per_
+  /// temperature); generated scenarios vary it to trade search depth for
+  /// fuzzing throughput.
+  int sa_iterations = 150;
+};
+
+/// One generated (or shrunk, or corpus-loaded) synthesis input.
+struct Scenario {
+  std::string name;         ///< e.g. "fuzz-s1-i42"; repro provenance
+  std::uint64_t seed = 0;   ///< master seed that generated it (0 = manual)
+  SequencingGraph graph;
+  AllocationSpec allocation;
+  WashModel wash;
+  /// Chip geometry. grid_width == 0 means "derive from the allocation"
+  /// (the oracle calls derive_grid exactly like the synthesis presets).
+  ChipSpec chip;
+  ScenarioKnobs knobs;
+};
+
+/// Serializes a scenario to the text format described above. Deterministic:
+/// equal scenarios produce byte-identical text.
+std::string write_scenario(const Scenario& scenario);
+
+/// Parses write_scenario's output (or any assay file with `# @` directives;
+/// missing directives keep their defaults). Throws AssayParseError on
+/// malformed input. parse_scenario(write_scenario(s)) reproduces every
+/// field of `s` exactly, including the doubles.
+Scenario parse_scenario(std::string_view text);
+
+/// Loads every `*.assay` file under `dir` as a scenario, sorted by file
+/// name so replay order is stable. Throws std::runtime_error when the
+/// directory cannot be read or a file fails to parse (a corrupt corpus
+/// must fail loudly, not silently skip).
+std::vector<std::pair<std::string, Scenario>> load_corpus(
+    const std::string& dir);
+
+}  // namespace fbmb

@@ -1,0 +1,188 @@
+#include "testgen/shrinker.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace fbmb {
+
+namespace {
+
+/// Rebuilds the scenario's graph keeping only operations whose dense id
+/// passes `keep_op`, and only dependencies (between surviving endpoints)
+/// whose insertion index passes `keep_dep`. Names, types, durations, and
+/// fluids are preserved; ids are re-densified in the original order.
+template <typename KeepOp, typename KeepDep>
+Scenario rebuild(const Scenario& scenario, KeepOp&& keep_op,
+                 KeepDep&& keep_dep) {
+  Scenario out = scenario;
+  out.graph = SequencingGraph{};
+  std::vector<OperationId> remap(scenario.graph.operation_count(),
+                                 kNoOperation);
+  for (const auto& op : scenario.graph.operations()) {
+    if (!keep_op(op.id.value)) continue;
+    remap[static_cast<std::size_t>(op.id.value)] = out.graph.add_operation(
+        op.name, op.type, op.duration, op.output);
+  }
+  int dep_index = 0;
+  for (const auto& dep : scenario.graph.dependencies()) {
+    const OperationId from = remap[static_cast<std::size_t>(dep.from.value)];
+    const OperationId to = remap[static_cast<std::size_t>(dep.to.value)];
+    if (from.valid() && to.valid() && keep_dep(dep_index)) {
+      out.graph.add_dependency(from, to);
+    }
+    ++dep_index;
+  }
+  return out;
+}
+
+/// Runs the predicate, treating any exception as "does not reproduce".
+bool still_fails(const FailurePredicate& fails, const Scenario& candidate,
+                 ShrinkStats& stats) {
+  ++stats.attempts;
+  try {
+    return fails(candidate);
+  } catch (...) {
+    return false;
+  }
+}
+
+/// Tries one edit; commits it into `current` when the failure survives.
+bool try_edit(Scenario& current, Scenario candidate,
+              const FailurePredicate& fails, ShrinkStats& stats) {
+  if (!still_fails(fails, candidate, stats)) return false;
+  current = std::move(candidate);
+  ++stats.accepted;
+  return true;
+}
+
+}  // namespace
+
+Scenario remove_operation(const Scenario& scenario, int index) {
+  return rebuild(
+      scenario, [index](int id) { return id != index; },
+      [](int) { return true; });
+}
+
+Scenario remove_dependency(const Scenario& scenario, int index) {
+  return rebuild(
+      scenario, [](int) { return true; },
+      [index](int dep) { return dep != index; });
+}
+
+Scenario shrink_scenario(const Scenario& scenario,
+                         const FailurePredicate& fails, ShrinkStats* stats) {
+  ShrinkStats local;
+  ShrinkStats& s = stats != nullptr ? *stats : local;
+  Scenario current = scenario;
+
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    ++s.rounds;
+
+    // Pass 1: drop operations, highest id first (sinks before sources, so
+    // whole dead subtrees fall quickly and surviving low ids keep their
+    // positions for the descending scan).
+    for (int id = static_cast<int>(current.graph.operation_count()) - 1;
+         id >= 0; --id) {
+      if (current.graph.operation_count() <= 1) break;
+      progress |= try_edit(current, remove_operation(current, id), fails, s);
+    }
+
+    // Pass 2: drop dependency edges, last inserted first (share edges are
+    // appended after the spanning fan-in, so extras go before the trunk).
+    for (int dep = static_cast<int>(current.graph.dependency_count()) - 1;
+         dep >= 0; --dep) {
+      progress |= try_edit(current, remove_dependency(current, dep), fails, s);
+    }
+
+    // Pass 3: shrink the allocation one component at a time.
+    for (int AllocationSpec::* count :
+         {&AllocationSpec::mixers, &AllocationSpec::heaters,
+          &AllocationSpec::filters, &AllocationSpec::detectors}) {
+      while (current.allocation.*count > 0) {
+        Scenario candidate = current;
+        candidate.allocation.*count -= 1;
+        if (!try_edit(current, std::move(candidate), fails, s)) break;
+      }
+    }
+
+    // Pass 4: chip geometry — un-pin the grid (derive instead), else
+    // shrink the pinned sides; then normalize the secondary parameters.
+    if (current.chip.has_fixed_grid()) {
+      Scenario candidate = current;
+      candidate.chip.grid_width = 0;
+      candidate.chip.grid_height = 0;
+      if (!try_edit(current, std::move(candidate), fails, s)) {
+        for (int ChipSpec::* side :
+             {&ChipSpec::grid_width, &ChipSpec::grid_height}) {
+          while (current.chip.*side > 1) {
+            Scenario shrunk = current;
+            shrunk.chip.*side -= 1;
+            if (!try_edit(current, std::move(shrunk), fails, s)) break;
+          }
+        }
+      }
+    }
+    {
+      // Guard against the no-op edit: re-trying an already-normalized chip
+      // "succeeds" every round and the fixpoint loop would never end.
+      Scenario candidate = current;
+      candidate.chip.cell_pitch_mm = ChipSpec{}.cell_pitch_mm;
+      candidate.chip.transport_time = ChipSpec{}.transport_time;
+      candidate.chip.initial_cell_weight = ChipSpec{}.initial_cell_weight;
+      candidate.chip.cache_segment_cells = ChipSpec{}.cache_segment_cells;
+      const bool changed =
+          candidate.chip.cell_pitch_mm != current.chip.cell_pitch_mm ||
+          candidate.chip.transport_time != current.chip.transport_time ||
+          candidate.chip.initial_cell_weight !=
+              current.chip.initial_cell_weight ||
+          candidate.chip.cache_segment_cells !=
+              current.chip.cache_segment_cells;
+      if (changed) {
+        progress |= try_edit(current, std::move(candidate), fails, s);
+      }
+    }
+
+    // Pass 5: simplify the wash model to the stock anchors, then drop
+    // overrides one at a time.
+    if (current.wash.anchors() != WashModel{}.anchors() ||
+        current.wash.override_count() > 0) {
+      Scenario candidate = current;
+      candidate.wash = WashModel{};
+      progress |= try_edit(current, std::move(candidate), fails, s);
+    }
+    while (current.wash.override_count() > 0) {
+      Scenario candidate = current;
+      WashModel stripped(current.wash.anchors()[0],
+                         current.wash.anchors()[1],
+                         current.wash.anchors()[2],
+                         current.wash.anchors()[3]);
+      auto it = current.wash.overrides().begin();
+      for (++it; it != current.wash.overrides().end(); ++it) {
+        stripped.set_override(it->first, it->second);
+      }
+      candidate.wash = stripped;
+      if (!try_edit(current, std::move(candidate), fails, s)) break;
+    }
+
+    // Pass 6: neutralize knobs and per-operation durations.
+    if (current.knobs.placer_restarts != 1 ||
+        current.knobs.route_order != RouteOrder::kStartTime) {
+      Scenario candidate = current;
+      candidate.knobs.placer_restarts = 1;
+      candidate.knobs.route_order = RouteOrder::kStartTime;
+      progress |= try_edit(current, std::move(candidate), fails, s);
+    }
+    for (std::size_t i = 0; i < current.graph.operation_count(); ++i) {
+      const OperationId id{static_cast<int>(i)};
+      if (current.graph.operation(id).duration == 1.0) continue;
+      Scenario candidate = current;
+      candidate.graph.operation(id).duration = 1.0;
+      progress |= try_edit(current, std::move(candidate), fails, s);
+    }
+  }
+  return current;
+}
+
+}  // namespace fbmb

@@ -1,0 +1,51 @@
+// Deterministic greedy scenario shrinker.
+//
+// Given a failing scenario and a predicate that re-checks the failure
+// (normally: the differential oracle still reports a divergence), the
+// shrinker repeatedly tries structure-removing edits — drop an operation,
+// drop a dependency edge, shrink the allocation, shrink or un-pin the
+// chip grid, simplify the wash model, neutralize flow knobs — keeping an
+// edit only when the failure survives it, until a full round of passes
+// makes no progress. Every pass walks its candidates in a fixed order and
+// the predicate is assumed deterministic, so the same input scenario and
+// predicate always shrink to the same minimal repro — which is what lets
+// a shrunk corpus file double as a stable regression test.
+
+#pragma once
+
+#include <functional>
+
+#include "testgen/scenario.hpp"
+
+namespace fbmb {
+
+/// Returns true when the scenario still exhibits the failure being
+/// chased. Must be deterministic. A predicate that throws is treated as
+/// "does not reproduce" (the edit is reverted): shrinking edits routinely
+/// make scenarios infeasible, which is a rejected edit, not a harness
+/// error.
+using FailurePredicate = std::function<bool(const Scenario&)>;
+
+struct ShrinkStats {
+  int attempts = 0;  ///< candidate edits tried (predicate invocations)
+  int accepted = 0;  ///< edits that kept the failure and were committed
+  int rounds = 0;    ///< full pass rounds until fixpoint
+};
+
+/// Removes operation `index` (by dense id) from the scenario's graph,
+/// dropping its incident edges and re-numbering the survivors; names are
+/// preserved. Exposed for the shrinker tests.
+Scenario remove_operation(const Scenario& scenario, int index);
+
+/// Removes the `index`-th dependency (insertion order). Exposed for the
+/// shrinker tests.
+Scenario remove_dependency(const Scenario& scenario, int index);
+
+/// Greedy fixpoint shrink. Precondition: fails(scenario) is true; the
+/// returned scenario also satisfies the predicate and is 1-minimal with
+/// respect to the edit passes (no single edit keeps the failure).
+Scenario shrink_scenario(const Scenario& scenario,
+                         const FailurePredicate& fails,
+                         ShrinkStats* stats = nullptr);
+
+}  // namespace fbmb

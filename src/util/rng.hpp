@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <string_view>
 
 namespace fbmb {
 
@@ -26,6 +27,20 @@ inline std::uint64_t splitmix64(std::uint64_t& state) {
 }
 
 }  // namespace detail
+
+/// Packs an ASCII tag of up to 8 characters into a 64-bit domain-separation
+/// constant (big-endian, so seed_domain("SA_PLACE") == 0x53415F504C414345).
+/// Subsystems XOR their tag into the user seed before forking sub-streams,
+/// so two subsystems forking from the same master seed draw unrelated
+/// randomness. Constexpr: tags are compile-time constants, and existing
+/// hand-written hex tags can be replaced without changing any stream.
+constexpr std::uint64_t seed_domain(std::string_view tag) {
+  std::uint64_t packed = 0;
+  for (std::size_t i = 0; i < tag.size() && i < 8; ++i) {
+    packed = (packed << 8) | static_cast<unsigned char>(tag[i]);
+  }
+  return packed;
+}
 
 /// Derives an independent sub-seed from a master seed and a task index.
 /// Used wherever one logical seed fans out into parallel deterministic

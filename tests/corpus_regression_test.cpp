@@ -1,0 +1,44 @@
+// Replays every committed corpus scenario through the full differential
+// oracle, forever.
+//
+// tests/corpus/ holds self-contained scenario files: shrunk repros of
+// divergences the fuzzer once found (each fixed before commit), plus
+// hand-picked scenarios that exercise corners the paper benchmarks do not
+// (fractional wash times, oscillating fixpoints, fixed grids with tight
+// corridors). A file landing here means "this input broke the flow once";
+// this test keeps each one green against every core/reference pair, the
+// validators, and the chip simulator. See docs/TESTING.md for the
+// workflow that adds files.
+
+#include <gtest/gtest.h>
+
+#include "testgen/oracle.hpp"
+#include "testgen/scenario.hpp"
+
+namespace fbmb {
+namespace {
+
+TEST(CorpusRegression, CorpusIsNonEmpty) {
+  EXPECT_FALSE(load_corpus(MSYNTH_CORPUS_DIR).empty());
+}
+
+TEST(CorpusRegression, EveryScenarioRoundTrips) {
+  for (const auto& [file, scenario] : load_corpus(MSYNTH_CORPUS_DIR)) {
+    SCOPED_TRACE(file);
+    EXPECT_EQ(write_scenario(parse_scenario(write_scenario(scenario))),
+              write_scenario(scenario));
+  }
+}
+
+TEST(CorpusRegression, EveryScenarioPassesTheDifferentialOracle) {
+  for (const auto& [file, scenario] : load_corpus(MSYNTH_CORPUS_DIR)) {
+    SCOPED_TRACE(file);
+    const OracleReport report = run_differential_oracle(scenario);
+    EXPECT_TRUE(report.ok) << (report.failures.empty()
+                                   ? std::string("(no detail)")
+                                   : report.failures.front());
+  }
+}
+
+}  // namespace
+}  // namespace fbmb

@@ -1,0 +1,164 @@
+// Generator validity and oracle behavior over generated scenarios.
+//
+// The acceptance bar for the fuzzing subsystem: every generated scenario
+// is structurally valid (acyclic graph, positive durations, qualified
+// components), serializes through the scenario text format losslessly,
+// schedules, and passes the full differential oracle with zero
+// divergence; and the oracle detects each known fault injection.
+
+#include "testgen/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/assay_parser.hpp"
+#include "schedule/list_scheduler.hpp"
+#include "schedule/validator.hpp"
+#include "testgen/oracle.hpp"
+#include "testgen/scenario.hpp"
+
+namespace fbmb {
+namespace {
+
+TEST(Generator, IsDeterministic) {
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    const Scenario a = generate_scenario(99, i);
+    const Scenario b = generate_scenario(99, i);
+    EXPECT_EQ(write_scenario(a), write_scenario(b)) << "index " << i;
+  }
+}
+
+TEST(Generator, DistinctIndicesDiffer) {
+  std::set<std::string> texts;
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    texts.insert(write_scenario(generate_scenario(3, i)));
+  }
+  // Collisions would mean the fork_seed domain split is broken.
+  EXPECT_EQ(texts.size(), 50u);
+}
+
+TEST(Generator, ScenariosAreStructurallyValid) {
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    const Scenario s = generate_scenario(11, i);
+    SCOPED_TRACE(s.name);
+    EXPECT_FALSE(s.graph.validate().has_value());
+    EXPECT_GE(s.graph.operation_count(), 4u);
+    for (const auto& op : s.graph.operations()) {
+      EXPECT_GT(op.duration, 0.0);
+      EXPECT_GT(op.output.diffusion_coefficient, 0.0);
+    }
+    const Allocation allocation(s.allocation);
+    for (const auto& op : s.graph.operations()) {
+      bool qualified = false;
+      for (const auto& comp : allocation.components()) {
+        qualified |= comp.type == op.type;
+      }
+      EXPECT_TRUE(qualified) << "no component for op " << op.name;
+    }
+  }
+}
+
+TEST(Generator, ScenariosRoundTripThroughText) {
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    const Scenario s = generate_scenario(5, i);
+    const std::string text = write_scenario(s);
+    const Scenario replayed = parse_scenario(text);
+    // Byte-identical re-serialization is the round-trip criterion: it
+    // covers every field, including exact double bits.
+    EXPECT_EQ(write_scenario(replayed), text) << s.name;
+  }
+}
+
+TEST(Generator, ScenarioTextIsAValidAssay) {
+  for (std::uint64_t i = 0; i < 25; ++i) {
+    const Scenario s = generate_scenario(21, i);
+    // The stock assay parser must accept every corpus file as-is; the
+    // scenario directives ride in comments it skips.
+    const ParsedAssay assay = parse_assay(write_scenario(s));
+    EXPECT_EQ(assay.graph.operation_count(), s.graph.operation_count());
+    EXPECT_EQ(assay.graph.dependency_count(), s.graph.dependency_count());
+  }
+}
+
+TEST(Generator, ScenariosScheduleAndValidate) {
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    const Scenario s = generate_scenario(13, i);
+    SCOPED_TRACE(s.name);
+    const Allocation allocation(s.allocation);
+    SchedulerOptions options;
+    options.policy = s.knobs.policy;
+    options.refine_storage = s.knobs.refine_storage;
+    const Schedule schedule =
+        schedule_bioassay(s.graph, allocation, s.wash, options);
+    EXPECT_TRUE(
+        validate_schedule(schedule, s.graph, allocation, s.wash).empty());
+  }
+}
+
+TEST(Oracle, CleanScenariosPassDifferentially) {
+  OracleOptions options;
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    const Scenario s = generate_scenario(17, i);
+    const OracleReport report = run_differential_oracle(s, options);
+    EXPECT_TRUE(report.ok) << s.name << ": "
+                           << (report.failures.empty()
+                                   ? ""
+                                   : report.failures.front());
+  }
+}
+
+TEST(Oracle, DetectsScheduleFault) {
+  OracleOptions options;
+  options.inject = FaultInjection::kScheduleOffByOne;
+  bool detected = false;
+  for (std::uint64_t i = 0; i < 32 && !detected; ++i) {
+    const OracleReport report =
+        run_differential_oracle(generate_scenario(17, i), options);
+    detected = !report.ok;
+    if (detected) {
+      EXPECT_NE(report.failures.front().find("scheduler"),
+                std::string::npos);
+    }
+  }
+  EXPECT_TRUE(detected);
+}
+
+TEST(Oracle, DetectsRouteFault) {
+  OracleOptions options;
+  options.inject = FaultInjection::kRouteDelayOffByOne;
+  bool detected = false;
+  for (std::uint64_t i = 0; i < 32 && !detected; ++i) {
+    const OracleReport report =
+        run_differential_oracle(generate_scenario(17, i), options);
+    detected = !report.ok;
+    if (detected) {
+      EXPECT_NE(report.failures.front().find("router"), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(detected);
+}
+
+TEST(Oracle, ReportsTelemetry) {
+  const Scenario s = generate_scenario(17, 0);
+  const OracleReport report = run_differential_oracle(s);
+  ASSERT_TRUE(report.ok);
+  EXPECT_EQ(report.operations, s.graph.operation_count());
+  EXPECT_GT(report.transports, 0u);
+  EXPECT_GT(report.fixpoint_rounds, 0u);
+}
+
+TEST(Scenario, ParseRejectsMalformedDirective) {
+  EXPECT_THROW(parse_scenario("# @chip 4\nop a mix 1\nallocate 1 0 0 0\n"),
+               AssayParseError);
+  EXPECT_THROW(parse_scenario("# @policy nonsense\nop a mix 1\n"
+                              "allocate 1 0 0 0\n"),
+               AssayParseError);
+}
+
+TEST(Scenario, LoadCorpusThrowsOnMissingDirectory) {
+  EXPECT_THROW(load_corpus("/nonexistent/corpus/dir"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace fbmb
