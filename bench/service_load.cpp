@@ -191,6 +191,73 @@ std::string strip_timing(std::string json) {
   return json;
 }
 
+/// One GET over a fresh connection; empty on any transport failure.
+std::string http_get(const std::string& host, std::uint16_t port,
+                     const std::string& target) {
+  const std::string wire = "GET " + target + " HTTP/1.1\r\nHost: " + host +
+                           "\r\nConnection: close\r\n\r\n";
+  std::optional<Socket> conn = connect_to(host, port, /*timeout_ms=*/5000);
+  if (!conn) return {};
+  if (!conn->send_all(wire, /*timeout_ms=*/10000)) return {};
+  HttpLimits limits;
+  limits.max_body = 64u << 20;  // /trace can be large
+  HttpResponseParser parser(limits);
+  char buffer[8192];
+  while (parser.status() == ParseStatus::kNeedMore) {
+    std::size_t received = 0;
+    const IoStatus io = conn->read_some(buffer, sizeof(buffer),
+                                        /*timeout_ms=*/60000, received);
+    if (io == IoStatus::kEof) {
+      parser.feed(nullptr, 0);
+      break;
+    }
+    if (io != IoStatus::kOk) return {};
+    parser.feed(buffer, received);
+  }
+  if (parser.status() != ParseStatus::kDone ||
+      parser.message().status != 200) {
+    return {};
+  }
+  return parser.message().body;
+}
+
+/// Re-serializes the server's per-endpoint histogram summaries
+/// (service.endpoints in GET /metrics) for BENCH_service.json. Returns
+/// "{}" when the fetch or parse fails so the output stays valid JSON.
+std::string server_endpoint_json(const std::string& metrics_body) {
+  const std::optional<fbmb::jsonio::Value> root =
+      fbmb::jsonio::parse(metrics_body);
+  if (!root) return "{}";
+  const fbmb::jsonio::Value* service = root->find("service");
+  const fbmb::jsonio::Value* endpoints =
+      service != nullptr ? service->find("endpoints") : nullptr;
+  if (endpoints == nullptr) return "{}";
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  for (const char* name : {"synthesize", "healthz", "metrics", "trace"}) {
+    const fbmb::jsonio::Value* ep = endpoints->find(name);
+    if (ep == nullptr) continue;
+    os << (first ? "" : ", ") << "\"" << name << "\": {";
+    bool first_field = true;
+    for (const char* field :
+         {"count", "mean_ms", "p50_ms", "p90_ms", "p99_ms", "max_ms"}) {
+      const fbmb::jsonio::Value* v = ep->find(field);
+      if (v == nullptr || v->kind != fbmb::jsonio::Value::Kind::kNumber) {
+        continue;
+      }
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.6g", v->num);
+      os << (first_field ? "" : ", ") << "\"" << field << "\": " << buf;
+      first_field = false;
+    }
+    os << "}";
+    first = false;
+  }
+  os << "}";
+  return os.str();
+}
+
 /// The library-side reference payload for the warm request class: PCR at
 /// seed 1 through the same engine entry point the server uses.
 std::string direct_warm_result_json() {
@@ -343,9 +410,20 @@ int main(int argc, char** argv) {
   char lat[160];
   std::snprintf(lat, sizeof(lat),
                 ", \"latency_ms\": {\"p50\": %.3f, \"p90\": %.3f, "
-                "\"p99\": %.3f, \"max\": %.3f}, \"error_rate\": %.6f}}",
+                "\"p99\": %.3f, \"max\": %.3f}, \"error_rate\": %.6f",
                 p50, p90, p99, max_ms, error_rate);
   json << lat;
+
+  // Server-side view: exercise the read-only endpoints once, then pull
+  // /metrics and embed its per-endpoint latency histograms — the numbers
+  // check_bench.py --service validates against the client-side ones.
+  http_get(host, static_cast<std::uint16_t>(port), "/healthz");
+  http_get(host, static_cast<std::uint16_t>(port), "/trace");
+  http_get(host, static_cast<std::uint16_t>(port), "/metrics");
+  const std::string metrics_body =
+      http_get(host, static_cast<std::uint16_t>(port), "/metrics");
+  json << ", \"server_endpoints\": " << server_endpoint_json(metrics_body)
+       << "}}";
   if (!json_out.empty()) {
     std::ofstream out(json_out, std::ios::trunc);
     out << json.str() << "\n";

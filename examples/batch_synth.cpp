@@ -16,6 +16,7 @@
 //   --verify-serial    recompute every benchmark with the serial flow and
 //                      fail unless the batch results are bit-identical
 //   --seed S           SA placer seed for all jobs (default: options')
+//   --trace-out PATH   enable tracing; write Chrome-trace JSON on exit
 
 #include <cstdlib>
 #include <cstring>
@@ -26,6 +27,8 @@
 #include "bench_suite/benchmarks.hpp"
 #include "report/table.hpp"
 #include "runtime/synthesis_engine.hpp"
+#include "trace/chrome_export.hpp"
+#include "trace/trace.hpp"
 #include "util/strings.hpp"
 
 namespace {
@@ -33,7 +36,8 @@ namespace {
 void print_usage() {
   std::cerr << "usage: batch_synth [--threads N] [--passes N]\n"
                "                   [--cache-file PATH] [--json]\n"
-               "                   [--verify-serial] [--seed S]\n";
+               "                   [--verify-serial] [--seed S]\n"
+               "                   [--trace-out PATH]\n";
 }
 
 }  // namespace
@@ -44,6 +48,7 @@ int main(int argc, char** argv) {
   SynthesisEngineOptions engine_options;
   int passes = 2;
   std::string cache_file;
+  std::string trace_out;
   bool print_json = false;
   bool verify_serial = false;
   SynthesisOptions options;
@@ -63,6 +68,8 @@ int main(int argc, char** argv) {
       verify_serial = true;
     } else if (std::strcmp(arg, "--seed") == 0 && i + 1 < argc) {
       options.placer.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(arg, "--trace-out") == 0 && i + 1 < argc) {
+      trace_out = argv[++i];
     } else {
       print_usage();
       return 2;
@@ -71,6 +78,11 @@ int main(int argc, char** argv) {
   if (passes < 1) {
     print_usage();
     return 2;
+  }
+  if (!trace_out.empty()) {
+    trace::TraceRecorder::instance().set_enabled(true);
+    trace::TraceRecorder::instance().set_current_thread_name(
+        "batch-synth-main");
   }
 
   const auto benches = paper_benchmarks();
@@ -160,6 +172,15 @@ int main(int argc, char** argv) {
                 << cache_file << "\n";
     } else {
       std::cerr << "Failed to save cache to " << cache_file << "\n";
+      return 1;
+    }
+  }
+  if (!trace_out.empty()) {
+    std::string error;
+    if (trace::write_chrome_trace_file(trace_out, &error)) {
+      std::cout << "Trace written to " << trace_out << "\n";
+    } else {
+      std::cerr << "trace-out: " << error << "\n";
       return 1;
     }
   }

@@ -30,6 +30,8 @@
 //   --self-test        prove the harness works: for each injection kind,
 //                      find a divergence, shrink it, and require the
 //                      minimal repro to have at most 8 operations
+//   --trace-out PATH   enable tracing; write Chrome-trace JSON on exit
+//                      (spans cover the core side of every oracle run)
 //
 // Exit status: 0 when every scenario passed (or the self-test proved
 // detection), 1 on any divergence, 2 on usage errors.
@@ -45,6 +47,8 @@
 
 #include "runtime/thread_pool.hpp"
 #include "testgen/generator.hpp"
+#include "trace/chrome_export.hpp"
+#include "trace/trace.hpp"
 #include "testgen/oracle.hpp"
 #include "testgen/scenario.hpp"
 #include "testgen/shrinker.hpp"
@@ -59,7 +63,7 @@ void print_usage() {
          "                  [--max-ops N] [--threads N] [--shrink]\n"
          "                  [--repro-dir DIR] [--corpus DIR]\n"
          "                  [--inject schedule|route] [--json-out PATH]\n"
-         "                  [--self-test]\n";
+         "                  [--self-test] [--trace-out PATH]\n";
 }
 
 struct Totals {
@@ -218,6 +222,7 @@ int main(int argc, char** argv) {
   std::string repro_dir = "repros";
   std::string corpus_dir;
   std::string json_out;
+  std::string trace_out;
   GeneratorOptions gen_options;
   OracleOptions oracle_options;
 
@@ -254,6 +259,8 @@ int main(int argc, char** argv) {
       json_out = argv[++i];
     } else if (std::strcmp(arg, "--self-test") == 0) {
       self_test = true;
+    } else if (std::strcmp(arg, "--trace-out") == 0 && i + 1 < argc) {
+      trace_out = argv[++i];
     } else {
       print_usage();
       return 2;
@@ -263,6 +270,11 @@ int main(int argc, char** argv) {
       threads < 0) {
     print_usage();
     return 2;
+  }
+  if (!trace_out.empty()) {
+    trace::TraceRecorder::instance().set_enabled(true);
+    trace::TraceRecorder::instance().set_current_thread_name(
+        "fuzz-synth-main");
   }
 
   fbmb::ThreadPool* pool = nullptr;
@@ -332,6 +344,12 @@ int main(int argc, char** argv) {
 
   if (!json_out.empty()) {
     write_json(json_out, seed, count, totals, wall_s);
+  }
+  if (!trace_out.empty()) {
+    std::string error;
+    if (!trace::write_chrome_trace_file(trace_out, &error)) {
+      std::cerr << "trace-out: " << error << "\n";
+    }
   }
   return totals.divergences == 0 ? 0 : 1;
 }

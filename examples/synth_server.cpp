@@ -19,6 +19,8 @@
 #include <string>
 
 #include "service/server.hpp"
+#include "trace/chrome_export.hpp"
+#include "trace/trace.hpp"
 
 namespace {
 
@@ -39,7 +41,9 @@ void usage(const char* argv0) {
          "(default 1)\n"
       << "  --max-route-threads N  cap for the request \"threads\" knob "
          "(default 1 = serial)\n"
-      << "  --cache-file PATH    load/spill the result cache here\n";
+      << "  --cache-file PATH    load/spill the result cache here\n"
+      << "  --trace-out PATH     enable tracing; write Chrome-trace JSON "
+         "at shutdown\n";
 }
 
 bool parse_long(const char* text, long& out) {
@@ -53,6 +57,7 @@ bool parse_long(const char* text, long& out) {
 int main(int argc, char** argv) {
   fbmb::service::ServerOptions options;
   std::string port_file;
+  std::string trace_out;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -67,6 +72,8 @@ int main(int argc, char** argv) {
       port_file = argv[++i];
     } else if (arg == "--cache-file" && has_value) {
       options.cache_spill_path = argv[++i];
+    } else if (arg == "--trace-out" && has_value) {
+      trace_out = argv[++i];
     } else if (has_value && parse_long(argv[i + 1], value)) {
       ++i;
       if (arg == "--port" && value >= 0 && value <= 65535) {
@@ -100,6 +107,12 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (!trace_out.empty()) {
+    fbmb::trace::TraceRecorder::instance().set_enabled(true);
+    fbmb::trace::TraceRecorder::instance().set_current_thread_name(
+        "synth-server-main");
+  }
+
   fbmb::service::SynthServer server(options);
   try {
     server.start();
@@ -120,6 +133,15 @@ int main(int argc, char** argv) {
     server.wait_shutdown_requested();
     std::cout << "synth_server draining..." << std::endl;
     server.shutdown();
+  }
+
+  if (!trace_out.empty()) {
+    std::string error;
+    if (fbmb::trace::write_chrome_trace_file(trace_out, &error)) {
+      std::cout << "trace written to " << trace_out << std::endl;
+    } else {
+      std::cerr << "trace-out: " << error << std::endl;
+    }
   }
 
   std::cout << "synth_server stopped; final metrics:\n"

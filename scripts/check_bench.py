@@ -38,7 +38,19 @@ Also gates the synthesis-service load report written by service_load
 (--json-out) when given via --service FILE: every request must have been
 answered with an expected status, the warm payload must be bit-identical
 to the direct library result, the client-side p99 latency must stay under
---service-p99 ms, and the overall error rate under --service-error-rate.
+--service-p99 ms, the overall error rate under --service-error-rate, and
+the report must carry the server-side per-endpoint latency histograms
+(server_endpoints, scraped from /metrics) with derived percentiles for
+every endpoint and at least one recorded synthesize request.
+
+Also gates the tracing-overhead report written by trace_overhead
+(--json-out) when given via --trace FILE: traced and untraced runs must
+produce bit-identical results, the geomean slowdown of the flow_perf
+configs with tracing ENABLED must stay under --trace-enabled-overhead
+(default 0.10), and the projected cost of the DISABLED trace sites
+(micro-measured ns/site x sites hit, relative to the untraced runtime)
+must stay under --trace-disabled-overhead (default 0.02) on every
+config — the always-compiled instrumentation must be free when off.
 
 Also gates the differential-fuzzing report written by fuzz_synth
 (--json-out) when given via --fuzz FILE: scenarios must actually have
@@ -55,6 +67,7 @@ Usage:
   scripts/check_bench.py --flow BENCH_flow.json --flow-geomean-multi 1.2
   scripts/check_bench.py --service BENCH_service.json --service-p99 2000
   scripts/check_bench.py --fuzz BENCH_fuzz.json
+  scripts/check_bench.py --trace BENCH_trace.json
   scripts/check_bench.py --self-test
 """
 
@@ -295,6 +308,34 @@ def check_service(path, p99_ceiling_ms, error_rate_ceiling):
             f"{path}: error rate {error_rate:.4f} exceeds the "
             f"{error_rate_ceiling:.4f} ceiling"
         )
+    # Server-side view: per-endpoint latency histograms scraped from
+    # /metrics at the end of the run. An empty {} means the scrape or the
+    # parse failed — gate on it so the histograms can't silently vanish.
+    endpoints = service.get("server_endpoints")
+    if not isinstance(endpoints, dict) or not endpoints:
+        errors.append(
+            f"{path}: missing server_endpoints (per-endpoint latency "
+            "histograms scraped from /metrics)"
+        )
+    else:
+        for name in ("synthesize", "healthz", "metrics", "trace"):
+            endpoint = endpoints.get(name)
+            if not isinstance(endpoint, dict):
+                errors.append(
+                    f"{path}: server_endpoints.{name} is missing"
+                )
+                continue
+            for field in ("count", "p50_ms", "p90_ms", "p99_ms"):
+                if not isinstance(endpoint.get(field), (int, float)):
+                    errors.append(
+                        f"{path}: server_endpoints.{name}.{field} is "
+                        "missing or not a number"
+                    )
+            if name == "synthesize" and not endpoint.get("count"):
+                errors.append(
+                    f"{path}: server recorded no synthesize latencies "
+                    "(server_endpoints.synthesize.count is 0)"
+                )
     summary = (
         f"{path}: {total} requests, unanswered={unanswered}, "
         f"unexpected={unexpected}, p99={p99} ms, error_rate={error_rate}"
@@ -340,6 +381,65 @@ def check_fuzz(path):
     return errors
 
 
+def check_trace(path, disabled_ceiling, enabled_ceiling):
+    """Gates a trace_overhead --json-out report: tracing must never change
+    results, must cost little when on, and ~nothing when off."""
+    errors = []
+    doc, benchmarks = load_benchmarks(path)
+
+    if doc.get("identical") is not True:
+        errors.append(
+            f"{path}: traced run is not reported identical to the "
+            f"untraced run (identical={doc.get('identical')!r})"
+        )
+    for i, entry in enumerate(benchmarks):
+        if not isinstance(entry, dict):
+            errors.append(f"{path}: benchmarks[{i}] is not an object")
+            continue
+        name = entry.get("name", "<unnamed>")
+        if entry.get("identical") is not True:
+            errors.append(
+                f"{path}: {name}: traced result diverged from the "
+                f"untraced result (identical={entry.get('identical')!r})"
+            )
+        projected = entry.get("projected_disabled_overhead")
+        if not isinstance(projected, (int, float)) or projected < 0:
+            errors.append(
+                f"{path}: {name}: missing projected_disabled_overhead"
+            )
+        elif projected > disabled_ceiling:
+            errors.append(
+                f"{path}: {name}: projected disabled-site overhead "
+                f"{projected:.2%} exceeds the {disabled_ceiling:.0%} "
+                "ceiling"
+            )
+
+    geomean_enabled = doc.get("geomean_enabled_overhead")
+    if not isinstance(geomean_enabled, (int, float)):
+        errors.append(f"{path}: missing geomean_enabled_overhead")
+    elif geomean_enabled > enabled_ceiling:
+        errors.append(
+            f"{path}: geomean enabled overhead {geomean_enabled:.2%} "
+            f"exceeds the {enabled_ceiling:.0%} ceiling"
+        )
+    max_disabled = doc.get("max_projected_disabled_overhead")
+    if not isinstance(max_disabled, (int, float)):
+        errors.append(f"{path}: missing max_projected_disabled_overhead")
+
+    micro = doc.get("micro")
+    micro = micro if isinstance(micro, dict) else {}
+    print(
+        f"{path}: {len(benchmarks)} configs, "
+        f"{micro.get('ns_per_site_disabled', '?')} ns/site disabled, "
+        f"{micro.get('ns_per_event_enabled', '?')} ns/event enabled, "
+        f"geomean enabled overhead "
+        f"{geomean_enabled if isinstance(geomean_enabled, (int, float)) else 0.0:.2%}, "
+        f"max projected disabled overhead "
+        f"{max_disabled if isinstance(max_disabled, (int, float)) else 0.0:.2%}"
+    )
+    return errors
+
+
 def self_test():
     """Unit checks for the gate itself: every malformed-report shape must
     produce a readable `file: reason` line and exit 1 — never a traceback —
@@ -372,6 +472,65 @@ def self_test():
         doc = json.loads(json.dumps(good_fuzz))
         doc["fuzz"]["divergences"] = 2
         doc["fuzz"]["ok"] = False
+        return doc
+
+    good_trace = {
+        "reps": 3,
+        "micro": {"ns_per_site_disabled": 0.1, "ns_per_event_enabled": 70.0},
+        "benchmarks": [
+            {
+                "name": "PCR/dcsa",
+                "disabled_seconds": 0.01,
+                "enabled_seconds": 0.0104,
+                "events": 500,
+                "enabled_overhead": 0.04,
+                "projected_disabled_overhead": 0.0001,
+                "identical": True,
+            }
+        ],
+        "geomean_enabled_overhead": 0.04,
+        "max_projected_disabled_overhead": 0.0001,
+        "identical": True,
+    }
+
+    def costly_trace():
+        doc = json.loads(json.dumps(good_trace))
+        doc["benchmarks"][0]["projected_disabled_overhead"] = 0.05
+        doc["max_projected_disabled_overhead"] = 0.05
+        doc["geomean_enabled_overhead"] = 0.25
+        return doc
+
+    def divergent_trace():
+        doc = json.loads(json.dumps(good_trace))
+        doc["benchmarks"][0]["identical"] = False
+        doc["identical"] = False
+        return doc
+
+    good_service = {
+        "service": {
+            "total": 20,
+            "unanswered": 0,
+            "unexpected_status": 0,
+            "identical": True,
+            "latency_ms": {"p99": 12.0},
+            "error_rate": 0.0,
+            "server_endpoints": {
+                name: {
+                    "count": 5,
+                    "mean_ms": 1.0,
+                    "p50_ms": 1.0,
+                    "p90_ms": 2.0,
+                    "p99_ms": 3.0,
+                    "max_ms": 4.0,
+                }
+                for name in ("synthesize", "healthz", "metrics", "trace")
+            },
+        }
+    }
+
+    def endpointless_service():
+        doc = json.loads(json.dumps(good_service))
+        del doc["service"]["server_endpoints"]
         return doc
 
     failures = []
@@ -443,6 +602,41 @@ def self_test():
         ["--service"],
         1,
         ["missing latency_ms.p99"],
+    )
+    case(
+        "good service report passes",
+        good_service,
+        ["--service"],
+        0,
+        ["all benchmark gates"],
+    )
+    case(
+        "service without endpoint histograms fails",
+        endpointless_service(),
+        ["--service"],
+        1,
+        ["missing server_endpoints"],
+    )
+    case(
+        "good trace report passes",
+        good_trace,
+        ["--trace"],
+        0,
+        ["geomean enabled overhead"],
+    )
+    case(
+        "costly trace sites fail both ceilings",
+        costly_trace(),
+        ["--trace"],
+        1,
+        ["projected disabled-site overhead", "geomean enabled overhead 25.00%"],
+    )
+    case(
+        "divergent trace run fails",
+        divergent_trace(),
+        ["--trace"],
+        1,
+        ["diverged from the untraced result"],
     )
     case("good fuzz report passes", good_fuzz, ["--fuzz"], 0, ["divergences=0"])
     case(
@@ -557,6 +751,28 @@ def main(argv=None):
         "(fuzz_synth --json-out); repeatable",
     )
     parser.add_argument(
+        "--trace",
+        action="append",
+        default=[],
+        metavar="FILE",
+        help="BENCH_trace.json tracing-overhead report(s) to gate "
+        "(trace_overhead --json-out); repeatable",
+    )
+    parser.add_argument(
+        "--trace-disabled-overhead",
+        type=float,
+        default=0.02,
+        help="per-config ceiling on the projected cost of disabled trace "
+        "sites, as a fraction of untraced runtime (default: 0.02)",
+    )
+    parser.add_argument(
+        "--trace-enabled-overhead",
+        type=float,
+        default=0.10,
+        help="geomean ceiling on the slowdown with tracing enabled "
+        "(default: 0.10)",
+    )
+    parser.add_argument(
         "--self-test",
         action="store_true",
         help="run the gate's own unit checks against synthetic reports "
@@ -565,10 +781,16 @@ def main(argv=None):
     args = parser.parse_args(argv)
     if args.self_test:
         return self_test()
-    if not args.files and not args.service and not args.flow and not args.fuzz:
+    if (
+        not args.files
+        and not args.service
+        and not args.flow
+        and not args.fuzz
+        and not args.trace
+    ):
         parser.error(
             "nothing to check: give perf files, --flow, --service, "
-            "and/or --fuzz"
+            "--fuzz, and/or --trace"
         )
 
     geomean_floors = {}
@@ -625,6 +847,18 @@ def main(argv=None):
     for path in args.fuzz:
         try:
             all_errors.extend(check_fuzz(path))
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            all_errors.append(f"{path}: {exc}")
+
+    for path in args.trace:
+        try:
+            all_errors.extend(
+                check_trace(
+                    path,
+                    args.trace_disabled_overhead,
+                    args.trace_enabled_overhead,
+                )
+            )
         except (OSError, ValueError, json.JSONDecodeError) as exc:
             all_errors.append(f"{path}: {exc}")
 

@@ -6,6 +6,7 @@
 
 #include "route/parallel_router.hpp"
 #include "schedule/retiming.hpp"
+#include "trace/trace.hpp"
 #include "util/logging.hpp"
 
 namespace fbmb {
@@ -45,25 +46,37 @@ RoutingResult route_until_consistent(
   int postponements = 0;
   RouteStats stats_total;
 
+  TRACE_SPAN("stage", "fixpoint");
   const auto build_start = Clock::now();
   // The parallel router is pure execution policy: it commits, provably,
   // exactly what the serial sweep commits (see parallel_router.hpp), so
   // choosing it cannot change the result — only the wall time.
   const bool parallel = router_options.route_threads > 1 &&
                         static_cast<bool>(router_options.route_executor);
-  std::unique_ptr<IncrementalRouter> router =
-      parallel ? std::make_unique<ParallelRouter>(chip, allocation, placement,
-                                                  wash_model, router_options)
-               : std::make_unique<IncrementalRouter>(
-                     chip, allocation, placement, wash_model, router_options);
+  std::unique_ptr<IncrementalRouter> router;
+  {
+    TRACE_SPAN("stage", "grid_build");
+    router = parallel
+                 ? std::make_unique<ParallelRouter>(chip, allocation,
+                                                    placement, wash_model,
+                                                    router_options)
+                 : std::make_unique<IncrementalRouter>(
+                       chip, allocation, placement, wash_model,
+                       router_options);
+  }
   stages.grid_build += seconds_since(build_start);
 
   for (int round_index = 0;; ++round_index) {
+    TRACE_COUNTER("route", "fixpoint_round", round_index);
     FlowRound round;
     double reset_seconds = 0.0;
     const auto route_start = Clock::now();
-    RoutingResult routing =
-        router->route_round(schedule, &round, &reset_seconds, checkpoint);
+    RoutingResult routing;
+    {
+      TRACE_SPAN("stage", "route_round");
+      routing = router->route_round(schedule, &round, &reset_seconds,
+                                    checkpoint);
+    }
     stages.route += seconds_since(route_start) - reset_seconds;
     stages.grid_build += reset_seconds;
     fold_round(flow, round);
@@ -85,14 +98,21 @@ RoutingResult route_until_consistent(
       FBMB_WARN("routing still postponing after " << max_rounds
                                                   << " rounds");
       const auto retime_start = Clock::now();
-      apply_transport_delays(schedule, graph, routing.delays);
+      {
+        TRACE_SPAN("stage", "retime");
+        apply_transport_delays(schedule, graph, routing.delays);
+      }
       stages.retime += seconds_since(retime_start);
 
       FlowRound final_round;
       double final_reset = 0.0;
       const auto final_start = Clock::now();
-      RoutingResult final_routing =
-          router->route_round(schedule, &final_round, &final_reset, checkpoint);
+      RoutingResult final_routing;
+      {
+        TRACE_SPAN("stage", "route_round");
+        final_routing = router->route_round(schedule, &final_round,
+                                            &final_reset, checkpoint);
+      }
       stages.route += seconds_since(final_start) - final_reset;
       stages.grid_build += final_reset;
       fold_round(flow, final_round);
@@ -104,11 +124,16 @@ RoutingResult route_until_consistent(
       return final_routing;
     }
     const auto retime_start = Clock::now();
-    apply_transport_delays(schedule, graph, routing.delays);
+    {
+      TRACE_SPAN("stage", "retime");
+      apply_transport_delays(schedule, graph, routing.delays);
+    }
     stages.retime += seconds_since(retime_start);
   }
 }
 
+// The reference fixpoint is deliberately left uninstrumented: it is the
+// differential oracle, not a production path.
 RoutingResult route_until_consistent_reference(
     Schedule& schedule, const SequencingGraph& graph,
     const Allocation& allocation, const ChipSpec& chip,

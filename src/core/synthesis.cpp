@@ -8,6 +8,7 @@
 
 #include "core/flow_core.hpp"
 #include "place/sa_placer.hpp"
+#include "trace/trace.hpp"
 #include "util/logging.hpp"
 #include "util/strings.hpp"
 
@@ -59,6 +60,9 @@ SynthesisResult synthesize_custom(const SequencingGraph& graph,
                                   const SynthesisOptions& options) {
   const auto t0 = Clock::now();
   StageTimes stages;
+  // Stamp every event this synthesis emits (on this thread) with the
+  // caller's trace id; executors re-establish the scope on pool threads.
+  trace::TraceIdScope trace_scope(options.trace_id);
   const std::function<void(const char*)>& checkpoint = options.checkpoint;
   if (checkpoint) checkpoint("schedule");
 
@@ -70,12 +74,17 @@ SynthesisResult synthesize_custom(const SequencingGraph& graph,
   SchedulerOptions scheduler_options = options.scheduler;
   scheduler_options.refine_storage = false;
   SchedStats sched_stats;
-  Schedule schedule = schedule_bioassay(graph, allocation, wash_model,
-                                        scheduler_options, &sched_stats);
+  Schedule schedule;
+  {
+    TRACE_SPAN("stage", "schedule");
+    schedule = schedule_bioassay(graph, allocation, wash_model,
+                                 scheduler_options, &sched_stats);
+  }
   stages.schedule = seconds_since(schedule_start);
   if (options.scheduler.refine_storage) {
     if (checkpoint) checkpoint("refine");
     const auto refine_start = Clock::now();
+    TRACE_SPAN("stage", "refine");
     refine_channel_storage(schedule);
     stages.refine = seconds_since(refine_start);
   }
@@ -87,8 +96,12 @@ SynthesisResult synthesize_custom(const SequencingGraph& graph,
 
   if (options.placement == PlacementStrategy::kConstructive) {
     const auto place_start = Clock::now();
-    Placement placement = place_components_baseline(
-        allocation, schedule, chip, options.baseline_placer);
+    Placement placement;
+    {
+      TRACE_SPAN("stage", "place");
+      placement = place_components_baseline(allocation, schedule, chip,
+                                            options.baseline_placer);
+    }
     stages.place = seconds_since(place_start);
     FlowStats flow_stats;
     RoutingResult routing = route_until_consistent(
@@ -110,8 +123,13 @@ SynthesisResult synthesize_custom(const SequencingGraph& graph,
   // metrics.
   const auto place_start = Clock::now();
   PlaceStats place_stats;
-  std::vector<Placement> candidates = place_component_candidates(
-      allocation, schedule, wash_model, chip, options.placer, &place_stats);
+  std::vector<Placement> candidates;
+  {
+    TRACE_SPAN("stage", "place");
+    candidates = place_component_candidates(allocation, schedule, wash_model,
+                                            chip, options.placer,
+                                            &place_stats);
+  }
   stages.place = seconds_since(place_start);
   SynthesisResult best;
   bool have_best = false;

@@ -12,6 +12,7 @@
 
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <string>
 
@@ -51,6 +52,10 @@ struct SynthesisOptions {
   /// between stages. Execution policy — not part of the input fingerprint,
   /// cannot change the result of a flow that runs to completion.
   std::function<void(const char* stage)> checkpoint;
+  /// Stamped on every trace event this synthesis emits (see src/trace);
+  /// 0 means "no id". Like `checkpoint`, pure execution policy: excluded
+  /// from the input fingerprint and unable to change the result.
+  std::uint64_t trace_id = 0;
 };
 
 // StageTimes lives in core/flow_core.hpp (included above) alongside the

@@ -16,6 +16,7 @@
 #include <type_traits>
 #include <utility>
 
+#include "trace/trace.hpp"
 #include "util/rng.hpp"
 
 namespace fbmb {
@@ -47,8 +48,12 @@ std::pair<State, SaResult> anneal(State initial, EnergyFn&& energy,
   double best_energy = current_energy;
   SaResult stats;
 
+  int trace_level = 0;
   for (double t = opts.initial_temperature; t > opts.min_temperature;
        t *= opts.cooling_rate) {
+    // Sampled milestone: every 16th temperature level (cheap enough to
+    // leave in the hot loop, dense enough to see the cooling curve).
+    if ((trace_level++ & 15) == 0) TRACE_COUNTER("place", "sa_temperature", t);
     for (int i = 0; i < opts.iterations_per_temperature; ++i) {
       ++stats.proposals;
       std::optional<State> candidate = propose(current, rng);
@@ -93,8 +98,11 @@ auto anneal_moves(Model& model, const SaOptions& opts, Rng& rng)
   double best_energy = current_energy;
   SaResult stats;
 
+  int trace_level = 0;
   for (double t = opts.initial_temperature; t > opts.min_temperature;
        t *= opts.cooling_rate) {
+    // Same sampled milestone as anneal(); see the comment there.
+    if ((trace_level++ & 15) == 0) TRACE_COUNTER("place", "sa_temperature", t);
     for (int i = 0; i < opts.iterations_per_temperature; ++i) {
       ++stats.proposals;
       const std::optional<double> candidate_energy = model.propose(rng);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 
+#include "trace/trace.hpp"
+
 namespace fbmb {
 
 IncrementalRouter::IncrementalRouter(const ChipSpec& chip,
@@ -201,11 +203,13 @@ void IncrementalRouter::commit_sweep(const Schedule& schedule,
       rec.transport_time = transport.transport_time;
       rec.cache_dwell = task.cache_dwell;
       if (round) ++round->transports_reused;
+      TRACE_INSTANT("route", "replay");
       note_position(position + 1);
       continue;
     }
 
     verbatim = false;
+    TRACE_INSTANT("route", "reroute");
     if (round) {
       ++round->transports_rerouted;
       if (rec.valid) round->cells_evicted += rec.cells.size();
@@ -223,6 +227,7 @@ void IncrementalRouter::commit_sweep(const Schedule& schedule,
 
     if (options_.conflict_aware) {
       if (!speculative) {
+        TRACE_SPAN("route", "search");
         core_.set_probe_log(&probe_buffer_);
         for (int attempt = 0;; ++attempt) {
           // Keep only the final attempt's read-set: earlier attempts
@@ -246,6 +251,7 @@ void IncrementalRouter::commit_sweep(const Schedule& schedule,
       // start would have succeeded — delay stays 0 by construction.
     } else {
       if (!speculative) {
+        TRACE_SPAN("route", "search");
         core_.set_probe_log(&probe_buffer_);
         probe_buffer_.clear();
         path = core_.find_path(start);

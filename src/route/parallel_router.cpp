@@ -4,6 +4,8 @@
 #include <thread>
 #include <utility>
 
+#include "trace/trace.hpp"
+
 namespace fbmb {
 
 ParallelRouter::ParallelRouter(const ChipSpec& chip,
@@ -116,12 +118,15 @@ void ParallelRouter::speculate(std::size_t worker, const Schedule& schedule,
       sp.ready.store(true, std::memory_order_release);
       continue;
     }
-    core.begin_task(task, sources, targets,
-                    task.from == task.to ? task.from : task.to);
-    sp.probes.clear();
-    core.set_probe_log(&sp.probes);
-    sp.path = core.find_path(task.start);
-    core.set_probe_log(nullptr);
+    {
+      TRACE_SPAN("route", "speculate");
+      core.begin_task(task, sources, targets,
+                      task.from == task.to ? task.from : task.to);
+      sp.probes.clear();
+      core.set_probe_log(&sp.probes);
+      sp.path = core.find_path(task.start);
+      core.set_probe_log(nullptr);
+    }
     ++worker_speculated_[worker];
     sp.ready.store(true, std::memory_order_release);
   }
@@ -146,6 +151,7 @@ bool ParallelRouter::take_speculative(std::size_t position,
   if (!active_) return false;
   if (!claim_or_steal(position)) {
     if (round) ++round->parallel.fallback_searches;
+    TRACE_INSTANT("route", "spec_steal");
     return false;
   }
   Speculation& sp = spec_[position];
@@ -158,15 +164,18 @@ bool ParallelRouter::take_speculative(std::size_t position,
     // The snapshot search found no path (it would need postponement) or
     // the worker skipped; run the full serial pipeline.
     if (round) ++round->parallel.fallback_searches;
+    TRACE_INSTANT("route", "spec_fallback");
     return false;
   }
   if (!core_.probes_hold(sp.probes, task.start)) {
     if (round) ++round->parallel.mispredicted;
+    TRACE_INSTANT("route", "spec_mispredict");
     return false;
   }
   path = std::move(sp.path);
   probe_buffer_.swap(sp.probes);
   if (round) ++round->parallel.committed;
+  TRACE_INSTANT("route", "spec_commit");
   return true;
 }
 

@@ -157,6 +157,8 @@ void hash_options(InputHasher& h, const SynthesisOptions& options) {
   // for every other.
 
   h.u64(static_cast<std::uint64_t>(options.placement));
+  // options.checkpoint and options.trace_id are execution policy, not
+  // inputs: neither can change the result of a flow that completes.
 }
 
 }  // namespace

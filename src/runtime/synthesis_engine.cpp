@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "report/json.hpp"
+#include "trace/trace.hpp"
 
 namespace fbmb {
 
@@ -23,6 +24,20 @@ std::string number(double v) {
   char buf[48];
   std::snprintf(buf, sizeof(buf), "%.9g", v);
   return buf;
+}
+
+/// Restart/route tasks run on shared pool workers whose thread-local
+/// trace id belongs to whatever job they last served; re-establish this
+/// job's id around each task so its events stay attributable.
+void wrap_tasks_with_trace_id(std::vector<std::function<void()>>& tasks,
+                              std::uint64_t trace_id) {
+  if (trace_id == 0) return;
+  for (std::function<void()>& task : tasks) {
+    task = [trace_id, inner = std::move(task)] {
+      trace::TraceIdScope scope(trace_id);
+      inner();
+    };
+  }
 }
 
 }  // namespace
@@ -63,14 +78,25 @@ JobOutcome SynthesisEngine::run_job(const SynthesisJob& job) {
 
 JobOutcome SynthesisEngine::execute(const SynthesisJob& job) {
   telemetry_.job_started();
+  // Every event the job emits — on this thread or on pool workers running
+  // its restart/route tasks — carries one trace id: the caller's (e.g. a
+  // service request id) or a fresh one when tracing is on.
+  std::uint64_t trace_id = job.options.trace_id;
+  if (trace_id == 0 && trace::enabled()) {
+    trace_id = trace::TraceRecorder::instance().next_trace_id();
+  }
+  trace::TraceIdScope trace_scope(trace_id);
+  TRACE_SPAN("engine", "job");
   const auto t0 = Clock::now();
   JobOutcome outcome;
   outcome.name = job.name;
+  outcome.trace_id = trace_id;
   outcome.fingerprint = fingerprint_inputs(job.graph, job.allocation,
                                            job.wash, job.options, job.flow);
   if (std::optional<SynthesisResult> cached =
           cache_.lookup(outcome.fingerprint)) {
     telemetry_.record_cache_hit();
+    TRACE_INSTANT("engine", "cache_hit");
     outcome.result = std::move(*cached);
     outcome.cache_hit = true;
     outcome.wall_seconds = seconds_since(t0);
@@ -80,6 +106,7 @@ JobOutcome SynthesisEngine::execute(const SynthesisJob& job) {
   telemetry_.record_cache_miss();
 
   SynthesisOptions options = job.options;
+  options.trace_id = trace_id;
   if (job.cancel) {
     // Thread the token through the flow's checkpoints (stage boundaries
     // and, inside routing rounds, every transport): a fired token aborts
@@ -103,7 +130,8 @@ JobOutcome SynthesisEngine::execute(const SynthesisJob& job) {
     // committer then steals every position and the round degrades to the
     // serial sweep).
     options.router.route_executor =
-        [this](std::vector<std::function<void()>>& tasks) {
+        [this, trace_id](std::vector<std::function<void()>>& tasks) {
+          wrap_tasks_with_trace_id(tasks, trace_id);
           parallel_invoke(pool_, tasks);
         };
   }
@@ -113,7 +141,8 @@ JobOutcome SynthesisEngine::execute(const SynthesisJob& job) {
     // serial loop. parallel_invoke makes the job thread participate, so a
     // saturated pool degrades to inline execution instead of deadlocking.
     options.placer.restart_executor =
-        [this](std::vector<std::function<void()>>& tasks) {
+        [this, trace_id](std::vector<std::function<void()>>& tasks) {
+          wrap_tasks_with_trace_id(tasks, trace_id);
           parallel_invoke(pool_, tasks);
         };
   }

@@ -52,6 +52,9 @@ struct JobOutcome {
   Fingerprint fingerprint;
   bool cache_hit = false;
   double wall_seconds = 0.0;  ///< job wall time inside the engine
+  /// Trace id the job's events were stamped with (0 when tracing was off
+  /// and the job carried none). See src/trace.
+  std::uint64_t trace_id = 0;
 };
 
 struct SynthesisEngineOptions {

@@ -3,6 +3,13 @@
 #include <algorithm>
 #include <atomic>
 #include <exception>
+#include <string>
+
+#if defined(__linux__)
+#include <pthread.h>
+#endif
+
+#include "trace/trace.hpp"
 
 namespace fbmb {
 
@@ -19,7 +26,7 @@ ThreadPool::ThreadPool(std::size_t threads, std::size_t queue_capacity)
   const std::size_t n = threads > 0 ? threads : default_thread_count();
   workers_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -88,8 +95,15 @@ void ThreadPool::enqueue(std::function<void()> task) {
   not_empty_.notify_one();
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t index) {
   g_current_pool = this;
+  const std::string name = "msynth-w" + std::to_string(index);
+#if defined(__linux__)
+  // Thread names show up in TSan reports, debuggers, and /proc; the
+  // kernel caps them at 15 chars + NUL, which "msynth-wNN" fits.
+  pthread_setname_np(pthread_self(), name.c_str());
+#endif
+  trace::TraceRecorder::instance().set_current_thread_name(name);
   for (;;) {
     std::function<void()> task;
     {
@@ -100,6 +114,7 @@ void ThreadPool::worker_loop() {
       queue_.pop_front();
     }
     not_full_.notify_one();
+    TRACE_SPAN("pool", "task");
     task();  // packaged_task captures exceptions into its future
   }
 }

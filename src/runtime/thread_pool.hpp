@@ -99,7 +99,7 @@ class ThreadPool {
 
  private:
   void enqueue(std::function<void()> task);
-  void worker_loop();
+  void worker_loop(std::size_t index);
 
   mutable std::mutex mutex_;
   std::condition_variable not_empty_;

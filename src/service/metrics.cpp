@@ -114,7 +114,12 @@ std::string ServiceMetrics::to_json(std::uint64_t queue_depth,
      << ", \"timed_out\": " << responses_timed_out.load()
      << "}, \"latency\": "
      << LatencyHistogram::to_json(synthesize_latency.snapshot())
-     << ", \"draining\": " << (draining ? "true" : "false") << "}";
+     << ", \"endpoints\": {\"synthesize\": "
+     << LatencyHistogram::to_json(synthesize_latency.snapshot())
+     << ", \"healthz\": " << LatencyHistogram::to_json(healthz_latency.snapshot())
+     << ", \"metrics\": " << LatencyHistogram::to_json(metrics_latency.snapshot())
+     << ", \"trace\": " << LatencyHistogram::to_json(trace_latency.snapshot())
+     << "}, \"draining\": " << (draining ? "true" : "false") << "}";
   return os.str();
 }
 

@@ -63,7 +63,12 @@ struct ServiceMetrics {
   std::atomic<std::uint64_t> responses_cancelled{0};     ///< 503
   std::atomic<std::uint64_t> responses_timed_out{0};     ///< 504
 
+  /// Per-endpoint handler latency (dispatch entry to response ready).
+  /// synthesize_latency doubles as the legacy top-level "latency" object.
   LatencyHistogram synthesize_latency;
+  LatencyHistogram healthz_latency;
+  LatencyHistogram metrics_latency;
+  LatencyHistogram trace_latency;
 
   /// Buckets a just-sent response status into the counters above.
   void count_response(int status);

@@ -179,6 +179,13 @@ std::optional<SynthesizeRequest> parse_synthesize_request(
     }
     req.threads = static_cast<int>(value);
   }
+  if (const jsonio::Value* trace = root->find("trace")) {
+    if (trace->kind != jsonio::Value::Kind::kBool) {
+      error = "\"trace\" must be a boolean";
+      return std::nullopt;
+    }
+    req.trace = trace->b;
+  }
   return req;
 }
 
@@ -191,15 +198,23 @@ std::string error_body(const std::string& message,
   return os.str();
 }
 
-std::string synthesize_body(const JobOutcome& outcome) {
+std::string synthesize_body(const JobOutcome& outcome,
+                            const std::string& inline_trace_json) {
   char wall[48];
   std::snprintf(wall, sizeof(wall), "%.9g", outcome.wall_seconds);
   std::ostringstream os;
   os << "{\"name\": " << json_quote(outcome.name) << ", \"fingerprint\": \""
      << outcome.fingerprint.to_hex()
      << "\", \"cache_hit\": " << (outcome.cache_hit ? "true" : "false")
-     << ", \"wall_seconds\": " << wall
-     << ", \"result\": " << synthesis_result_to_json(outcome.result) << "}";
+     << ", \"wall_seconds\": " << wall;
+  if (outcome.trace_id != 0) {
+    // As a decimal string: 64-bit ids don't survive a double round-trip.
+    os << ", \"trace_id\": \"" << outcome.trace_id << "\"";
+  }
+  if (!inline_trace_json.empty()) {
+    os << ", \"trace\": " << inline_trace_json;
+  }
+  os << ", \"result\": " << synthesis_result_to_json(outcome.result) << "}";
   return os.str();
 }
 

@@ -32,6 +32,9 @@ struct SynthesizeRequest {
   /// runs — results are bit-identical at any value, so the clamp only
   /// affects latency.
   int threads = 0;
+  /// Force tracing on for this request and return its events inline
+  /// (bounded Chrome-trace JSON under the response "trace" key).
+  bool trace = false;
 };
 
 /// Parses a POST /synthesize body. On failure returns nullopt and sets
@@ -44,7 +47,10 @@ std::string error_body(const std::string& message,
                        const std::string& stage = {});
 
 /// The 200 body: name, fingerprint, cache_hit, wall_seconds, and the full
-/// lossless result object.
-std::string synthesize_body(const JobOutcome& outcome);
+/// lossless result object. When the outcome carries a trace id, a
+/// "trace_id" field is added; a non-empty `inline_trace_json` (a complete
+/// Chrome-trace document) is embedded verbatim under "trace".
+std::string synthesize_body(const JobOutcome& outcome,
+                            const std::string& inline_trace_json = {});
 
 }  // namespace fbmb::service

@@ -10,6 +10,8 @@
 #include <utility>
 
 #include "service/protocol.hpp"
+#include "trace/chrome_export.hpp"
+#include "trace/trace.hpp"
 
 namespace fbmb::service {
 
@@ -20,6 +22,26 @@ using Clock = std::chrono::steady_clock;
 double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
+
+/// Inline per-request traces are bounded so a "trace": true response stays
+/// a few hundred KB even on a long flow; the full firehose is GET /trace.
+constexpr std::size_t kMaxInlineTraceEvents = 4096;
+
+/// Pairs push_force/pop_force across every exit path of a traced request.
+class ForcedTrace {
+ public:
+  explicit ForcedTrace(bool on) : on_(on) {
+    if (on_) trace::TraceRecorder::instance().push_force();
+  }
+  ~ForcedTrace() {
+    if (on_) trace::TraceRecorder::instance().pop_force();
+  }
+  ForcedTrace(const ForcedTrace&) = delete;
+  ForcedTrace& operator=(const ForcedTrace&) = delete;
+
+ private:
+  bool on_;
+};
 
 HttpResponse make_error(int status, const std::string& message,
                         const std::string& stage = {}) {
@@ -138,6 +160,7 @@ void SynthServer::listener_loop() {
       continue;
     }
     metrics_.connections_accepted.fetch_add(1);
+    TRACE_INSTANT("service", "accept");
     active_connections_.fetch_add(1);
     auto slot = std::make_unique<ConnSlot>();
     ConnSlot* raw = slot.get();
@@ -203,6 +226,7 @@ void SynthServer::connection_loop(Socket conn, ConnSlot* slot) {
 
 HttpResponse SynthServer::dispatch(const HttpRequest& request, Socket& conn) {
   metrics_.requests_received.fetch_add(1);
+  const auto start = Clock::now();
   if (request.target == "/healthz") {
     if (request.method != "GET") {
       return make_error(405, "method not allowed; use GET");
@@ -211,6 +235,7 @@ HttpResponse SynthServer::dispatch(const HttpRequest& request, Socket& conn) {
     response.body = draining_.load()
                         ? "{\"status\": \"draining\"}"
                         : "{\"status\": \"ok\"}";
+    metrics_.healthz_latency.record(seconds_since(start));
     return response;
   }
   if (request.target == "/metrics") {
@@ -219,6 +244,20 @@ HttpResponse SynthServer::dispatch(const HttpRequest& request, Socket& conn) {
     }
     HttpResponse response;
     response.body = metrics_json();
+    metrics_.metrics_latency.record(seconds_since(start));
+    return response;
+  }
+  if (request.target == "/trace") {
+    if (request.method != "GET") {
+      return make_error(405, "method not allowed; use GET");
+    }
+    // Everything currently buffered, across all threads and requests, as
+    // a Chrome-trace document (open in Perfetto / chrome://tracing).
+    // Snapshotting never blocks writers, so this is safe under load.
+    HttpResponse response;
+    response.body =
+        trace::to_chrome_json(trace::TraceRecorder::instance().snapshot());
+    metrics_.trace_latency.record(seconds_since(start));
     return response;
   }
   if (request.target == "/synthesize") {
@@ -236,11 +275,28 @@ HttpResponse SynthServer::handle_synthesize(const HttpRequest& request,
     return make_error(503, "server is draining");
   }
   std::string error;
-  std::optional<SynthesizeRequest> parsed =
-      parse_synthesize_request(request.body, error);
+  std::optional<SynthesizeRequest> parsed;
+  {
+    TRACE_SPAN("service", "parse");
+    parsed = parse_synthesize_request(request.body, error);
+  }
   if (!parsed) {
     return make_error(400, error);
   }
+
+  // Tracing: "trace": true force-enables the recorder for this request's
+  // lifetime (ForcedTrace pairs the pop across every exit path). When the
+  // recorder is on — forced or via --trace-out — the request gets its own
+  // trace id, stamped on every event it causes here and on pool workers.
+  ForcedTrace forced(parsed->trace);
+  std::uint64_t trace_id = 0;
+  if (trace::enabled()) {
+    trace_id = trace::TraceRecorder::instance().next_trace_id();
+    parsed->job.options.trace_id = trace_id;
+  }
+  trace::TraceIdScope trace_scope(trace_id);
+  TRACE_SPAN("service", "request");
+
   const int stall_ms =
       std::min(parsed->stall_ms, options_.max_stall_ms);
   // Routing concurrency: the request's ask (or, absent one, the engine
@@ -265,12 +321,18 @@ HttpResponse SynthServer::handle_synthesize(const HttpRequest& request,
   // Admission control: a full engine queue rejects the request *now*
   // (429 + Retry-After) instead of parking the handler on a blocking
   // submit. Rejection has no side effects, so the client can retry.
-  auto future = engine_.pool().try_submit(
-      [this, req = std::move(*parsed), stall_ms, token]() -> JobOutcome {
-        if (stall_ms > 0) stall_cancellably(stall_ms, *token);
-        return engine_.run_job(req.job);
-      });
+  const bool want_trace = parsed->trace;
+  auto admit = [&] {
+    TRACE_SPAN("service", "admit");
+    return engine_.pool().try_submit(
+        [this, req = std::move(*parsed), stall_ms, token]() -> JobOutcome {
+          if (stall_ms > 0) stall_cancellably(stall_ms, *token);
+          return engine_.run_job(req.job);
+        });
+  };
+  auto future = admit();
   if (!future) {
+    TRACE_INSTANT("service", "reject");
     return make_error(429, "synthesis queue is full, retry later");
   }
 
@@ -283,15 +345,29 @@ HttpResponse SynthServer::handle_synthesize(const HttpRequest& request,
   // Wait for the job, watching the client: a peer hangup cancels the job
   // (no point finishing work nobody will read) but we still wait for the
   // future to settle so the engine is never abandoned mid-job.
-  while (future->wait_for(std::chrono::milliseconds(50)) !=
-         std::future_status::ready) {
-    if (!token->cancelled() && conn.peer_hung_up()) token->cancel();
+  {
+    TRACE_SPAN("service", "synthesize");
+    while (future->wait_for(std::chrono::milliseconds(50)) !=
+           std::future_status::ready) {
+      if (!token->cancelled() && conn.peer_hung_up()) token->cancel();
+    }
   }
 
   HttpResponse response;
   try {
     const JobOutcome outcome = future->get();
-    response.body = synthesize_body(outcome);
+    TRACE_SPAN("service", "respond");
+    std::string inline_trace;
+    if (want_trace) {
+      // The request's own events, bounded; snapshotting here means the
+      // enclosing request/respond spans (still open) are not included.
+      trace::ChromeExportOptions export_options;
+      export_options.trace_id_filter = trace_id;
+      export_options.max_events = kMaxInlineTraceEvents;
+      inline_trace = trace::to_chrome_json(
+          trace::TraceRecorder::instance().snapshot(), export_options);
+    }
+    response.body = synthesize_body(outcome, inline_trace);
   } catch (const SynthesisCancelled& e) {
     const bool deadline =
         e.reason() == SynthesisCancelled::Reason::kDeadline;

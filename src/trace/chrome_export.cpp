@@ -1,0 +1,163 @@
+#include "trace/chrome_export.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+namespace fbmb::trace {
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+/// Microseconds with nanosecond resolution, as the trace viewer expects.
+void append_us(std::string& out, std::uint64_t ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%llu.%03u",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned>(ns % 1000));
+  out += buf;
+}
+
+void append_double(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+struct FlatEvent {
+  const Event* event;
+  std::uint64_t tid;
+};
+
+}  // namespace
+
+std::string to_chrome_json(const TraceSnapshot& snapshot,
+                           const ChromeExportOptions& options) {
+  std::vector<FlatEvent> flat;
+  std::uint64_t dropped = 0;
+  for (const ThreadTrace& thread : snapshot.threads) {
+    dropped += thread.dropped;
+    for (const Event& event : thread.events) {
+      if (options.trace_id_filter != 0 &&
+          event.trace_id != options.trace_id_filter) {
+        continue;
+      }
+      flat.push_back({&event, thread.tid});
+    }
+  }
+  std::stable_sort(flat.begin(), flat.end(),
+                   [](const FlatEvent& a, const FlatEvent& b) {
+                     return a.event->ts_ns < b.event->ts_ns;
+                   });
+  bool truncated = false;
+  if (options.max_events != 0 && flat.size() > options.max_events) {
+    flat.resize(options.max_events);
+    truncated = true;
+  }
+
+  std::string out;
+  out.reserve(flat.size() * 128 + 512);
+  out += "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped\":";
+  out += std::to_string(dropped);
+  out += ",\"truncated\":";
+  out += truncated ? "true" : "false";
+  out += "},\"traceEvents\":[";
+  bool first = true;
+  for (const ThreadTrace& thread : snapshot.threads) {
+    if (thread.name.empty()) continue;
+    if (!first) out += ',';
+    first = false;
+    out += "{\"ph\":\"M\",\"pid\":1,\"tid\":";
+    out += std::to_string(thread.tid);
+    out += ",\"name\":\"thread_name\",\"args\":{\"name\":";
+    append_escaped(out, thread.name);
+    out += "}}";
+  }
+  for (const FlatEvent& fe : flat) {
+    const Event& event = *fe.event;
+    static const std::string kUnknown = "?";
+    const std::string& cat = event.category < snapshot.categories.size()
+                                 ? snapshot.categories[event.category]
+                                 : kUnknown;
+    const std::string& name =
+        event.name < snapshot.names.size() ? snapshot.names[event.name]
+                                           : kUnknown;
+    if (!first) out += ',';
+    first = false;
+    out += "{\"ph\":\"";
+    switch (event.type) {
+      case EventType::kSpan: out += 'X'; break;
+      case EventType::kInstant: out += 'i'; break;
+      case EventType::kCounter: out += 'C'; break;
+    }
+    out += "\",\"pid\":1,\"tid\":";
+    out += std::to_string(fe.tid);
+    out += ",\"cat\":";
+    append_escaped(out, cat);
+    out += ",\"name\":";
+    append_escaped(out, name);
+    out += ",\"ts\":";
+    append_us(out, event.ts_ns);
+    if (event.type == EventType::kSpan) {
+      out += ",\"dur\":";
+      append_us(out, event.dur_ns);
+    }
+    if (event.type == EventType::kInstant) out += ",\"s\":\"t\"";
+    out += ",\"args\":{";
+    bool first_arg = true;
+    if (event.type == EventType::kCounter) {
+      append_escaped(out, name);
+      out += ':';
+      append_double(out, event.value);
+      first_arg = false;
+    }
+    if (event.trace_id != 0) {
+      if (!first_arg) out += ',';
+      out += "\"trace_id\":\"";
+      out += std::to_string(event.trace_id);
+      out += '"';
+    }
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+bool write_chrome_trace_file(const std::string& path, std::string* error) {
+  const std::string json =
+      to_chrome_json(TraceRecorder::instance().snapshot());
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return false;
+  }
+  const std::size_t written =
+      std::fwrite(json.data(), 1, json.size(), file);
+  const bool closed = std::fclose(file) == 0;
+  const bool ok = written == json.size() && closed;
+  if (!ok && error != nullptr) *error = "short write to " + path;
+  return ok;
+}
+
+}  // namespace fbmb::trace

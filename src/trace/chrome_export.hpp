@@ -1,0 +1,40 @@
+// Chrome trace-event / Perfetto-compatible JSON serialization of a
+// TraceSnapshot. The output is the standard "JSON object format"
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU):
+// load it at chrome://tracing or https://ui.perfetto.dev.
+//
+// Mapping (schema also documented in docs/RUNTIME.md):
+//   span    -> {"ph":"X", "ts", "dur"}        complete event, us floats
+//   instant -> {"ph":"i", "s":"t"}            thread-scoped instant
+//   counter -> {"ph":"C", "args":{name: v}}   counter track
+//   thread  -> {"ph":"M", "name":"thread_name"} metadata per named thread
+// Every event carries "pid":1, the recorder-assigned "tid", "cat", and —
+// when nonzero — the 64-bit trace id as a decimal string in args.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace fbmb::trace {
+
+struct ChromeExportOptions {
+  /// Keep only events carrying this trace id (0 = keep everything).
+  std::uint64_t trace_id_filter = 0;
+  /// Cap on exported events, earliest-first (0 = unlimited). When the cap
+  /// bites, top-level otherData.truncated is true.
+  std::size_t max_events = 0;
+};
+
+std::string to_chrome_json(const TraceSnapshot& snapshot,
+                           const ChromeExportOptions& options = {});
+
+/// Snapshots the process recorder and writes the Chrome-trace document to
+/// `path` (the --trace-out implementation shared by the CLI tools).
+/// Returns false and sets `error` (when non-null) on I/O failure.
+bool write_chrome_trace_file(const std::string& path,
+                             std::string* error = nullptr);
+
+}  // namespace fbmb::trace

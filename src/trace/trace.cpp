@@ -1,0 +1,345 @@
+#include "trace/trace.hpp"
+
+#include <array>
+#include <bit>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+namespace fbmb::trace {
+
+namespace detail {
+
+std::atomic<bool> g_enabled{false};
+
+// 5 words per event: ts_ns, dur_ns, trace_id,
+// (name_id << 32 | category_id << 16 | type), bit_cast<u64>(value).
+constexpr std::size_t kWordsPerEvent = 5;
+
+/// One thread's event ring. Single writer (the owning thread); any number
+/// of concurrent snapshot readers. `reserve` is published (with a release
+/// fence) before a slot is touched and `head` after it is complete, so a
+/// reader that re-checks `reserve` after copying slots can discard every
+/// slot a writer may have been overwriting mid-copy (seqlock argument:
+/// if the reader saw any word of the overwrite, its later acquire-fenced
+/// read of `reserve` sees the pre-write bump and rejects the slot).
+struct Ring {
+  std::atomic<std::uint64_t> reserve{0};
+  std::atomic<std::uint64_t> head{0};
+  std::atomic<std::uint64_t> cleared{0};  // snapshot lower bound
+  std::uint64_t tid = 0;
+  std::string name;  // guarded by the recorder mutex
+  std::array<std::atomic<std::uint64_t>, kRingCapacity * kWordsPerEvent>
+      slots{};
+
+  void push(std::uint64_t w0, std::uint64_t w1, std::uint64_t w2,
+            std::uint64_t w3, std::uint64_t w4) {
+    const std::uint64_t i = head.load(std::memory_order_relaxed);
+    reserve.store(i + 1, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
+    std::atomic<std::uint64_t>* slot =
+        &slots[(i % kRingCapacity) * kWordsPerEvent];
+    slot[0].store(w0, std::memory_order_relaxed);
+    slot[1].store(w1, std::memory_order_relaxed);
+    slot[2].store(w2, std::memory_order_relaxed);
+    slot[3].store(w3, std::memory_order_relaxed);
+    slot[4].store(w4, std::memory_order_relaxed);
+    head.store(i + 1, std::memory_order_release);
+  }
+};
+
+namespace {
+
+std::uint64_t pack_meta(EventType type, std::uint16_t category,
+                        std::uint32_t name) {
+  return (static_cast<std::uint64_t>(name) << 32) |
+         (static_cast<std::uint64_t>(category) << 16) |
+         static_cast<std::uint64_t>(type);
+}
+
+/// Per-thread cache from a string's address to its interned id; after the
+/// first emit from a site, interning is a short linear scan with no lock.
+struct SiteCache {
+  std::vector<std::pair<const char*, std::uint32_t>> entries;
+
+  bool find(const char* key, std::uint32_t* out) const {
+    for (const auto& [ptr, id] : entries) {
+      if (ptr == key) {
+        *out = id;
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+}  // namespace detail
+
+struct TraceRecorder::Impl {
+  std::atomic<std::uint64_t> next_trace_id{1};
+
+  mutable std::mutex mutex;
+  bool user_enabled = false;
+  int force_count = 0;
+  std::vector<std::unique_ptr<detail::Ring>> rings;
+  std::vector<detail::Ring*> free_rings;  // lanes of exited threads
+  std::vector<std::string> categories;
+  std::vector<std::string> names;
+  std::unordered_map<std::string, std::uint16_t> category_ids;
+  std::unordered_map<std::string, std::uint32_t> name_ids;
+
+  std::uint16_t intern_category(const char* s) {
+    std::lock_guard<std::mutex> lock(mutex);
+    auto [it, inserted] = category_ids.try_emplace(
+        s, static_cast<std::uint16_t>(categories.size()));
+    if (inserted) categories.emplace_back(s);
+    return it->second;
+  }
+
+  std::uint32_t intern_name(const char* s) {
+    std::lock_guard<std::mutex> lock(mutex);
+    auto [it, inserted] =
+        name_ids.try_emplace(s, static_cast<std::uint32_t>(names.size()));
+    if (inserted) names.emplace_back(s);
+    return it->second;
+  }
+};
+
+namespace {
+
+thread_local detail::Ring* t_ring = nullptr;
+thread_local std::uint64_t t_trace_id = 0;
+thread_local std::string t_pending_name;
+thread_local detail::SiteCache t_category_cache;
+thread_local detail::SiteCache t_name_cache;
+
+void release_current_ring();
+
+/// Returns the thread's ring lane to the recorder's free list at thread
+/// exit so short-lived pools don't accumulate rings forever. The lane's
+/// events stay snapshottable until another thread recycles it.
+struct RingLease {
+  void touch() {}  // odr-use so the thread_local is actually constructed
+  ~RingLease() { release_current_ring(); }
+};
+thread_local RingLease t_ring_lease;
+
+}  // namespace
+
+TraceRecorder::TraceRecorder() : impl_(new Impl) {}
+
+TraceRecorder& TraceRecorder::instance() {
+  // Leaked on purpose: emitting threads (and their thread_local rings) may
+  // outlive main(), so the recorder must never be destroyed.
+  static TraceRecorder* recorder = new TraceRecorder;
+  return *recorder;
+}
+
+void TraceRecorder::recompute_enabled() {
+  detail::g_enabled.store(impl_->user_enabled || impl_->force_count > 0,
+                          std::memory_order_relaxed);
+}
+
+void TraceRecorder::set_enabled(bool on) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->user_enabled = on;
+  recompute_enabled();
+}
+
+void TraceRecorder::push_force() {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  ++impl_->force_count;
+  recompute_enabled();
+}
+
+void TraceRecorder::pop_force() {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  if (impl_->force_count > 0) --impl_->force_count;
+  recompute_enabled();
+}
+
+std::uint64_t TraceRecorder::next_trace_id() {
+  return impl_->next_trace_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+detail::Ring& TraceRecorder::ring_for_current_thread() {
+  if (t_ring == nullptr) {
+    t_ring_lease.touch();
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    if (!impl_->free_rings.empty()) {
+      detail::Ring* ring = impl_->free_rings.back();
+      impl_->free_rings.pop_back();
+      // Recycled lane: hide the previous owner's events so they are not
+      // misattributed to this thread.
+      ring->cleared.store(ring->head.load(std::memory_order_acquire),
+                          std::memory_order_relaxed);
+      ring->name = t_pending_name;
+      t_ring = ring;
+    } else {
+      auto ring = std::make_unique<detail::Ring>();
+      ring->tid = impl_->rings.size();
+      ring->name = t_pending_name;
+      t_ring = ring.get();
+      impl_->rings.push_back(std::move(ring));
+    }
+  }
+  return *t_ring;
+}
+
+void TraceRecorder::set_current_thread_name(const std::string& name) {
+  // Lazy: no ring is allocated until the thread actually emits an event
+  // (naming every pool worker in a tracing-disabled process must be free).
+  t_pending_name = name;
+  if (t_ring != nullptr) {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    t_ring->name = name;
+  }
+}
+
+void TraceRecorder::emit(EventType type, const char* category,
+                         const char* name, std::uint64_t ts_ns,
+                         std::uint64_t dur_ns, double value) {
+  std::uint32_t cat_id = 0;
+  if (!t_category_cache.find(category, &cat_id)) {
+    cat_id = impl_->intern_category(category);
+    t_category_cache.entries.emplace_back(category, cat_id);
+  }
+  std::uint32_t name_id = 0;
+  if (!t_name_cache.find(name, &name_id)) {
+    name_id = impl_->intern_name(name);
+    t_name_cache.entries.emplace_back(name, name_id);
+  }
+  ring_for_current_thread().push(
+      ts_ns, dur_ns, t_trace_id,
+      detail::pack_meta(type, static_cast<std::uint16_t>(cat_id), name_id),
+      std::bit_cast<std::uint64_t>(value));
+}
+
+TraceSnapshot TraceRecorder::snapshot() const {
+  TraceSnapshot snap;
+  // The ring list and string tables only grow; copy them (and the thread
+  // names) under the mutex, then read each ring lock-free.
+  std::vector<detail::Ring*> rings;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    snap.categories = impl_->categories;
+    snap.names = impl_->names;
+    rings.reserve(impl_->rings.size());
+    for (const auto& ring : impl_->rings) rings.push_back(ring.get());
+    for (const auto& ring : impl_->rings) {
+      ThreadTrace thread;
+      thread.tid = ring->tid;
+      thread.name = ring->name;
+      snap.threads.push_back(std::move(thread));
+    }
+  }
+  for (std::size_t r = 0; r < rings.size(); ++r) {
+    const detail::Ring& ring = *rings[r];
+    ThreadTrace& out = snap.threads[r];
+    const std::uint64_t head = ring.head.load(std::memory_order_acquire);
+    const std::uint64_t cleared =
+        ring.cleared.load(std::memory_order_relaxed);
+    std::uint64_t lo = head > kRingCapacity ? head - kRingCapacity : 0;
+    if (lo < cleared) lo = cleared;
+    std::vector<std::array<std::uint64_t, detail::kWordsPerEvent>> raw;
+    raw.reserve(static_cast<std::size_t>(head - lo));
+    for (std::uint64_t i = lo; i < head; ++i) {
+      const std::atomic<std::uint64_t>* slot =
+          &ring.slots[(i % kRingCapacity) * detail::kWordsPerEvent];
+      std::array<std::uint64_t, detail::kWordsPerEvent> words{};
+      for (std::size_t w = 0; w < detail::kWordsPerEvent; ++w) {
+        words[w] = slot[w].load(std::memory_order_relaxed);
+      }
+      raw.push_back(words);
+    }
+    std::atomic_thread_fence(std::memory_order_acquire);
+    // Any slot the writer started to overwrite during our copy belongs to
+    // an event index >= reserve - capacity; discard those (they may be
+    // torn). Everything older was stable for the whole copy.
+    const std::uint64_t reserve =
+        ring.reserve.load(std::memory_order_relaxed);
+    std::uint64_t keep_from =
+        reserve > kRingCapacity ? reserve - kRingCapacity : 0;
+    if (keep_from < lo) keep_from = lo;
+    out.dropped = keep_from > cleared ? keep_from - cleared : 0;
+    out.events.reserve(raw.size());
+    for (std::uint64_t i = keep_from; i < head; ++i) {
+      const auto& words = raw[static_cast<std::size_t>(i - lo)];
+      Event event;
+      event.ts_ns = words[0];
+      event.dur_ns = words[1];
+      event.trace_id = words[2];
+      event.type = static_cast<EventType>(words[3] & 0xff);
+      event.category = static_cast<std::uint16_t>((words[3] >> 16) & 0xffff);
+      event.name = static_cast<std::uint32_t>(words[3] >> 32);
+      event.value = std::bit_cast<double>(words[4]);
+      out.events.push_back(event);
+    }
+  }
+  return snap;
+}
+
+void TraceRecorder::clear() {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  for (const auto& ring : impl_->rings) {
+    // Writers only advance head; using it as the new lower bound hides
+    // everything already recorded from future snapshots.
+    ring->cleared.store(ring->head.load(std::memory_order_acquire),
+                        std::memory_order_relaxed);
+  }
+}
+
+std::uint64_t TraceRecorder::total_events() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  std::uint64_t total = 0;
+  for (const auto& ring : impl_->rings) {
+    total += ring->head.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+namespace {
+void release_current_ring() {
+  if (t_ring == nullptr) return;
+  TraceRecorder::instance().release_current_thread_ring();
+  t_ring = nullptr;
+}
+}  // namespace
+
+void TraceRecorder::release_current_thread_ring() {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->free_rings.push_back(t_ring);
+}
+
+std::uint64_t now_ns() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch)
+          .count());
+}
+
+std::uint64_t current_trace_id() { return t_trace_id; }
+
+TraceIdScope::TraceIdScope(std::uint64_t id) : prev_(t_trace_id) {
+  t_trace_id = id;
+}
+
+TraceIdScope::~TraceIdScope() { t_trace_id = prev_; }
+
+void emit_instant(const char* category, const char* name) {
+  TraceRecorder::instance().emit(EventType::kInstant, category, name,
+                                 now_ns(), 0, 0.0);
+}
+
+void emit_counter(const char* category, const char* name, double value) {
+  TraceRecorder::instance().emit(EventType::kCounter, category, name,
+                                 now_ns(), 0, value);
+}
+
+}  // namespace fbmb::trace

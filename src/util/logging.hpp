@@ -34,7 +34,17 @@ class Logger {
     if (sink_) {
       sink_(level, message);
     } else {
-      std::cerr << '[' << level_name(level) << "] " << message << '\n';
+      // One pre-formatted string, one stream insertion: separate
+      // operator<< calls would let concurrent jobs interleave fragments
+      // mid-line.
+      std::string line;
+      line.reserve(message.size() + 16);
+      line += '[';
+      line += level_name(level);
+      line += "] ";
+      line += message;
+      line += '\n';
+      std::cerr << line;
     }
   }
 

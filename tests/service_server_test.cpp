@@ -167,6 +167,7 @@ TEST(SynthServer, UnknownTargetsAndMethods) {
   EXPECT_EQ(roundtrip(server.port(), "GET", "/synthesize")->status, 405);
   EXPECT_EQ(roundtrip(server.port(), "POST", "/healthz")->status, 405);
   EXPECT_EQ(roundtrip(server.port(), "POST", "/metrics")->status, 405);
+  EXPECT_EQ(roundtrip(server.port(), "POST", "/trace")->status, 405);
 }
 
 TEST(SynthServer, OversizedBodyAnswers413) {
@@ -380,6 +381,123 @@ TEST(SynthServer, ThreadsKnobIsValidatedClampedAndNotIdentity) {
   EXPECT_NE(flow->find("spec_committed"), nullptr);
   EXPECT_NE(flow->find("spec_mispredicted"), nullptr);
   EXPECT_NE(flow->find("spec_fallbacks"), nullptr);
+}
+
+/// The opt-in per-request trace: "trace": true must return the request's
+/// own events inline — stage spans, one span per routing round, and the
+/// service lifecycle — every one stamped with the response's trace id.
+TEST(SynthServer, InlineTraceCarriesStagesRoundsAndOneId) {
+  SynthServer server(test_options());
+  server.start();
+
+  // Synthetic2/dcsa takes 3 routing rounds — a real multi-round flow.
+  const auto traced =
+      roundtrip(server.port(), "POST", "/synthesize",
+                R"({"benchmark": "Synthetic2", "trace": true})");
+  ASSERT_TRUE(traced.has_value());
+  ASSERT_EQ(traced->status, 200) << traced->body;
+  const auto root = jsonio::parse(traced->body);
+  ASSERT_TRUE(root.has_value());
+  const jsonio::Value* id = root->find("trace_id");
+  ASSERT_NE(id, nullptr);
+  EXPECT_EQ(id->kind, jsonio::Value::Kind::kString);
+  const jsonio::Value* trace = root->find("trace");
+  ASSERT_NE(trace, nullptr);
+  const jsonio::Value* events = trace->find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->kind, jsonio::Value::Kind::kArray);
+
+  std::size_t spans = 0;
+  std::size_t rounds = 0;
+  const std::vector<std::string> want = {
+      "job", "schedule", "place", "fixpoint", "route_round", "admit",
+      "synthesize"};
+  std::vector<bool> seen(want.size(), false);
+  for (const jsonio::Value& event : events->array) {
+    const jsonio::Value* name = event.find("name");
+    const jsonio::Value* ph = event.find("ph");
+    if (name == nullptr || ph == nullptr || ph->str == "M") continue;
+    // The filter is the contract: every surviving event carries the
+    // response's id, whether it ran on the handler or a pool worker.
+    const jsonio::Value* args = event.find("args");
+    ASSERT_NE(args, nullptr) << name->str;
+    const jsonio::Value* event_id = args->find("trace_id");
+    ASSERT_NE(event_id, nullptr) << name->str;
+    EXPECT_EQ(event_id->str, id->str) << name->str;
+    if (ph->str == "X") ++spans;
+    if (name->str == "route_round") ++rounds;
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      if (name->str == want[i]) seen[i] = true;
+    }
+  }
+  EXPECT_GE(spans, 8u);
+  EXPECT_GE(rounds, 2u);  // multi-round: one span per routing round
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_TRUE(seen[i]) << "missing span: " << want[i];
+  }
+
+  // The knob is execution policy, not identity: the same job untraced is
+  // a cache hit with no trace fields in the body.
+  const auto plain = roundtrip(server.port(), "POST", "/synthesize",
+                               R"({"benchmark": "Synthetic2"})");
+  ASSERT_TRUE(plain.has_value());
+  ASSERT_EQ(plain->status, 200);
+  const auto plain_root = jsonio::parse(plain->body);
+  ASSERT_TRUE(plain_root.has_value());
+  EXPECT_TRUE(plain_root->find("cache_hit")->b);
+  EXPECT_EQ(plain_root->find("trace"), nullptr);
+  EXPECT_EQ(plain_root->find("trace_id"), nullptr);
+
+  // Non-boolean "trace" is a 400, like every other malformed knob.
+  const auto bad = roundtrip(server.port(), "POST", "/synthesize",
+                             R"({"benchmark": "PCR", "trace": 1})");
+  ASSERT_TRUE(bad.has_value());
+  EXPECT_EQ(bad->status, 400);
+  EXPECT_NE(bad->body.find("trace"), std::string::npos);
+
+  // GET /trace serves the whole buffered snapshot as Chrome-trace JSON;
+  // the traced request's events are still in the rings.
+  const auto firehose = roundtrip(server.port(), "GET", "/trace");
+  ASSERT_TRUE(firehose.has_value());
+  EXPECT_EQ(firehose->status, 200);
+  const auto firehose_root = jsonio::parse(firehose->body);
+  ASSERT_TRUE(firehose_root.has_value());
+  const jsonio::Value* all = firehose_root->find("traceEvents");
+  ASSERT_NE(all, nullptr);
+  EXPECT_GT(all->array.size(), 0u);
+}
+
+/// /metrics carries per-endpoint latency histograms for every endpoint
+/// the server exposes (plus the legacy top-level "latency" alias).
+TEST(SynthServer, MetricsReportsPerEndpointHistograms) {
+  SynthServer server(test_options());
+  server.start();
+  ASSERT_EQ(roundtrip(server.port(), "GET", "/healthz")->status, 200);
+  ASSERT_EQ(roundtrip(server.port(), "GET", "/trace")->status, 200);
+  ASSERT_EQ(roundtrip(server.port(), "POST", "/synthesize",
+                      R"({"benchmark": "PCR"})")
+                ->status,
+            200);
+  ASSERT_EQ(roundtrip(server.port(), "GET", "/metrics")->status, 200);
+
+  const auto metrics = roundtrip(server.port(), "GET", "/metrics");
+  ASSERT_TRUE(metrics.has_value());
+  const auto root = jsonio::parse(metrics->body);
+  ASSERT_TRUE(root.has_value());
+  const jsonio::Value* service = root->find("service");
+  ASSERT_NE(service, nullptr);
+  EXPECT_NE(service->find("latency"), nullptr);
+  const jsonio::Value* endpoints = service->find("endpoints");
+  ASSERT_NE(endpoints, nullptr);
+  for (const char* name : {"synthesize", "healthz", "metrics", "trace"}) {
+    const jsonio::Value* ep = endpoints->find(name);
+    ASSERT_NE(ep, nullptr) << name;
+    for (const char* field :
+         {"count", "mean_ms", "p50_ms", "p90_ms", "p99_ms", "max_ms"}) {
+      ASSERT_NE(ep->find(field), nullptr) << name << "." << field;
+    }
+    EXPECT_GE(ep->find("count")->num, 1.0) << name;
+  }
 }
 
 }  // namespace
